@@ -1,0 +1,6 @@
+-- Fig. 1: the same question in SQL; flockc compiles it to the Fig. 2 flock.
+SELECT i1.Item, i2.Item
+FROM baskets i1, baskets i2
+WHERE i1.Item < i2.Item AND i1.BID = i2.BID
+GROUP BY i1.Item, i2.Item
+HAVING 3 <= COUNT(i1.BID)
