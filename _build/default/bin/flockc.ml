@@ -1,0 +1,334 @@
+(* flockc: the query-flock compiler/runner.
+
+   Subcommands:
+     flockc check <file.flock>                    parse + safety report
+     flockc candidates <file.flock>               safe a-priori subqueries
+     flockc explain <file.flock> -d pred=csv ...  costed plans
+     flockc run <file.flock> -d pred=csv ...      evaluate, print result CSV
+
+   Data files are CSV with a header row; the relation is registered under
+   the name given before '='. *)
+
+open Cmdliner
+module Catalog = Qf_relational.Catalog
+module Relation = Qf_relational.Relation
+open Qf_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program path =
+  match Parse.program (read_file path) with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* Materialize the program's views (if any) into the catalog. *)
+let prepare catalog (p : Parse.program) =
+  if p.views = [] then Ok catalog
+  else Views.materialize catalog p.views
+
+let db_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "D"; "database" ] ~docv:"DIR"
+        ~doc:
+          "Load every relation from a store directory (see $(b,import)); \
+           $(b,--data) bindings are applied on top.")
+
+let load_catalog ?db specs =
+  let cat =
+    match db with
+    | Some dir -> Qf_storage.Store.to_catalog (Qf_storage.Store.open_dir dir)
+    | None -> Catalog.create ()
+  in
+  let rec go = function
+    | [] -> Ok cat
+    | spec :: rest -> (
+      match String.index_opt spec '=' with
+      | None ->
+        Error (Printf.sprintf "--data %S: expected the form pred=file.csv" spec)
+      | Some i -> (
+        let pred = String.sub spec 0 i in
+        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match Qf_relational.Csv.load path with
+        | rel ->
+          Catalog.add cat pred rel;
+          go rest
+        | exception (Sys_error e | Failure e) ->
+          Error (Printf.sprintf "loading %s: %s" path e)))
+  in
+  go specs
+
+(* {1 Arguments} *)
+
+let flock_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FLOCK" ~doc:"Flock program (QUERY:/FILTER: syntax).")
+
+let data_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "d"; "data" ] ~docv:"PRED=CSV"
+        ~doc:"Bind relation $(i,PRED) to the rows of $(i,CSV). Repeatable.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log join orders, filter-step sizes, and dynamic decisions.")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("flockc: " ^ msg);
+    exit 1
+
+(* {1 check} *)
+
+let check_cmd =
+  let run path =
+    match load_program path with
+    | Error msg ->
+      prerr_endline ("flockc: " ^ msg);
+      exit 1
+    | Ok { Parse.views; flock } ->
+      if views <> [] then
+        Format.printf "views: %s@.@."
+          (String.concat ", "
+             (List.sort_uniq String.compare
+                (List.map (fun (r : Qf_datalog.Ast.rule) -> r.head.pred) views)));
+      Format.printf "%s@.@." (Flock.to_string flock);
+      Format.printf "rules: %d@." (Flock.rule_count flock);
+      Format.printf "parameters: %s@."
+        (String.concat ", " (List.map (fun p -> "$" ^ p) (Flock.params flock)));
+      Format.printf "filter is monotone: %b@."
+        (Filter.is_monotone flock.filter);
+      Format.printf "safe: yes (checked during parsing)@."
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse a flock program and report its structure")
+    Term.(const run $ flock_file)
+
+(* {1 candidates} *)
+
+let candidates_cmd =
+  let run path =
+    let flock = (or_die (load_program path)).Parse.flock in
+    List.iteri
+      (fun i rule ->
+        Format.printf "rule %d: %s@." i (Qf_datalog.Pretty.rule_to_string rule);
+        let candidates = Qf_datalog.Subquery.enumerate rule in
+        List.iter
+          (fun (c : Qf_datalog.Subquery.candidate) ->
+            Format.printf "  restricts {%s}: %s@."
+              (String.concat "," (List.map (fun p -> "$" ^ p) c.params))
+              (Qf_datalog.Pretty.rule_to_string c.rule))
+          candidates;
+        Format.printf "  (%d safe candidates)@.@." (List.length candidates))
+      flock.Flock.query
+  in
+  Cmd.v
+    (Cmd.info "candidates"
+       ~doc:"List the safe a-priori subqueries of each rule (Sec. 3)")
+    Term.(const run $ flock_file)
+
+(* {1 explain} *)
+
+let explain_cmd =
+  let run path data db =
+    let program = or_die (load_program path) in
+    let flock = program.Parse.flock in
+    let catalog = or_die (prepare (or_die (load_catalog ?db data)) program) in
+    let choices = Optimizer.enumerate catalog flock in
+    Format.printf "%d costed plans (cheapest first):@.@." (List.length choices);
+    List.iteri
+      (fun i (c : Optimizer.choice) ->
+        Format.printf "#%d  estimated work %.0f  steps: %s@." i c.cost
+          (Explain.plan_summary c.plan))
+      choices;
+    match choices with
+    | best :: _ ->
+      Format.printf "@.chosen plan:@.@.%s@." (Explain.plan_to_string best.plan)
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Enumerate and cost candidate plans against the data (Sec. 4.3)")
+    Term.(const run $ flock_file $ data_arg $ db_arg)
+
+(* {1 run} *)
+
+let mode_arg =
+  let modes =
+    [ "direct", `Direct; "plan", `Plan; "dynamic", `Dynamic; "naive", `Naive ]
+  in
+  Arg.(
+    value
+    & opt (enum modes) `Plan
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:
+          "Evaluation strategy: $(b,direct) (no a-priori), $(b,plan) \
+           (cost-based static plan), $(b,dynamic) (run-time filter \
+           selection), or $(b,naive) (generate-and-test oracle; tiny inputs \
+           only).")
+
+let run_cmd =
+  let run path data db mode verbose =
+    setup_logs verbose;
+    let program = or_die (load_program path) in
+    let flock = program.Parse.flock in
+    let catalog = or_die (prepare (or_die (load_catalog ?db data)) program) in
+    let result =
+      match mode with
+      | `Direct -> Direct.run catalog flock
+      | `Plan -> Plan_exec.run catalog (Optimizer.optimize catalog flock)
+      | `Dynamic -> (
+        match Dynamic.run catalog flock with
+        | Ok r -> r.answers
+        | Error e ->
+          prerr_endline ("flockc: dynamic: " ^ e ^ "; falling back to direct");
+          Direct.run catalog flock)
+      | `Naive -> Naive.run catalog flock
+    in
+    print_string (Qf_relational.Csv.to_string result)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Evaluate a flock against CSV data; print result CSV")
+    Term.(const run $ flock_file $ data_arg $ db_arg $ mode_arg $ verbose_arg)
+
+(* {1 sql} *)
+
+let sql_cmd =
+  let run path data db mode =
+    let catalog = or_die (load_catalog ?db data) in
+    let flock =
+      match Qf_sql.Compile.of_string catalog (read_file path) with
+      | Ok f -> f
+      | Error e ->
+        prerr_endline ("flockc: sql: " ^ e);
+        exit 1
+    in
+    Format.eprintf "compiled flock:@.@.%s@.@." (Flock.to_string flock);
+    let result =
+      match mode with
+      | `Direct -> Direct.run catalog flock
+      | `Plan -> Plan_exec.run catalog (Optimizer.optimize catalog flock)
+      | `Dynamic -> (
+        match Dynamic.run catalog flock with
+        | Ok r -> r.answers
+        | Error e ->
+          prerr_endline ("flockc: dynamic: " ^ e ^ "; falling back to direct");
+          Direct.run catalog flock)
+      | `Naive -> Naive.run catalog flock
+    in
+    print_string (Qf_relational.Csv.to_string result)
+  in
+  Cmd.v
+    (Cmd.info "sql"
+       ~doc:
+         "Compile a Fig.-1-style SQL query (SELECT/FROM/WHERE/GROUP           BY/HAVING) to a flock and evaluate it")
+    Term.(const run $ flock_file $ data_arg $ db_arg $ mode_arg)
+
+(* {1 rules / maximal: the mining conveniences} *)
+
+let pred_arg =
+  Arg.(
+    value & opt string "baskets"
+    & info [ "p"; "pred" ] ~docv:"PRED"
+        ~doc:"The (BID, Item) relation to mine.")
+
+let support_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "s"; "support" ] ~docv:"N" ~doc:"Support threshold.")
+
+let rules_cmd =
+  let confidence_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "c"; "confidence" ] ~docv:"C" ~doc:"Confidence floor.")
+  in
+  let run data db pred support confidence =
+    let catalog = or_die (load_catalog ?db data) in
+    let rules =
+      Measures.pair_rules catalog ~pred ~support ~min_confidence:confidence
+    in
+    Format.printf "%d rules (support >= %d, confidence >= %.2f):@."
+      (List.length rules) support confidence;
+    List.iter (fun r -> Format.printf "  %a@." Measures.pp_rule r) rules
+  in
+  Cmd.v
+    (Cmd.info "rules"
+       ~doc:
+         "Mine association rules with support, confidence, and interest \
+          (Sec. 1.1)")
+    Term.(const run $ data_arg $ db_arg $ pred_arg $ support_arg $ confidence_arg)
+
+let maximal_cmd =
+  let run data db pred support =
+    let catalog = or_die (load_catalog ?db data) in
+    let levels = Sequence.frequent_levels catalog ~pred ~support in
+    List.iter
+      (fun (l : Sequence.level) ->
+        Format.printf "level %d: %d frequent %d-item sets@." l.k
+          (Relation.cardinal l.itemsets) l.k)
+      levels;
+    let maximal = Sequence.maximal levels in
+    Format.printf "%d maximal frequent itemsets:@." (List.length maximal);
+    List.iter
+      (fun (_, tup) ->
+        Format.printf "  %a@." Qf_relational.Tuple.pp tup)
+      maximal
+  in
+  Cmd.v
+    (Cmd.info "maximal"
+       ~doc:
+         "Mine maximal frequent itemsets via a flock sequence (the paper's \
+          footnote 2)")
+    Term.(const run $ data_arg $ db_arg $ pred_arg $ support_arg)
+
+(* {1 import} *)
+
+let import_cmd =
+  let dir_pos =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Store directory (created if missing).")
+  in
+  let specs_pos =
+    Cmdliner.Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"PRED=CSV" ~doc:"Relations to import.")
+  in
+  let run dir specs =
+    let catalog = or_die (load_catalog specs) in
+    let store = Qf_storage.Store.open_dir dir in
+    List.iter
+      (fun name ->
+        Qf_storage.Store.save store name (Catalog.find catalog name);
+        Format.printf "imported %s (%d tuples)@." name
+          (Relation.cardinal (Catalog.find catalog name)))
+      (List.sort String.compare (Catalog.names catalog))
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Import CSV files into a store directory")
+    Term.(const run $ dir_pos $ specs_pos)
+
+let () =
+  let doc = "query flocks: generalized association-rule mining (SIGMOD 1998)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "flockc" ~version:"1.0.0" ~doc)
+          [ check_cmd; candidates_cmd; explain_cmd; run_cmd; sql_cmd; import_cmd; rules_cmd; maximal_cmd ]))

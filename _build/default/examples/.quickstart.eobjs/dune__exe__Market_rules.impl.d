@@ -1,0 +1,1 @@
+examples/market_rules.ml: Format List Measures Qf_core Qf_workload

@@ -1,0 +1,1 @@
+examples/maximal_itemsets.ml: Format List Qf_apriori Qf_core Qf_relational Qf_workload Sequence

@@ -1,0 +1,1 @@
+examples/multi_disease.ml: Direct Dynamic Explain Format List Optimizer Parse Plan_exec Printf Qf_core Qf_relational Qf_workload String Views

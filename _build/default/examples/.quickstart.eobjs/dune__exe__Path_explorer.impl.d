@@ -1,0 +1,1 @@
+examples/path_explorer.ml: Direct Explain Format List Plan Plan_exec Qf_core Qf_relational Qf_workload Sys

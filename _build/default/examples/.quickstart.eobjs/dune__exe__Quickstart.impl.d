@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apriori_gen Direct Explain Flock Format List Parse Plan_exec Qf_core Qf_relational

@@ -1,0 +1,1 @@
+examples/side_effects.ml: Direct Dynamic Explain Format List Optimizer Option Parse Plan_exec Printf Qf_core Qf_relational Qf_workload String

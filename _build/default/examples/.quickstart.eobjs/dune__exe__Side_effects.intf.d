@@ -1,0 +1,1 @@
+examples/side_effects.mli:

@@ -1,0 +1,1 @@
+examples/web_words.ml: Apriori_gen Direct Explain Format List Parse Plan_exec Qf_core Qf_relational Qf_workload

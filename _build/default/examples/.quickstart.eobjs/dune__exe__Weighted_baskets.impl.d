@@ -1,0 +1,1 @@
+examples/weighted_baskets.ml: Apriori_gen Direct Dynamic Flock Format List Parse Plan_exec Qf_core Qf_relational Qf_workload

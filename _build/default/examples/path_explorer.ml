@@ -1,0 +1,44 @@
+(* The "pathological" path flock of the paper's Ex. 4.3 (Figs. 6 and 7):
+   which nodes have at least 20 successors from which a length-n path
+   extends?
+
+   Run with:  dune exec examples/path_explorer.exe
+
+   Shows the (n+1)-step chain plan of Fig. 7 — the example the paper uses
+   to argue the plan space is not exponentially bounded — and compares its
+   work against direct evaluation as n grows. *)
+
+module Relation = Qf_relational.Relation
+open Qf_core
+
+let time f =
+  let t0 = Sys.time () in
+  let v = f () in
+  v, Sys.time () -. t0
+
+let () =
+  let config =
+    { Qf_workload.Graph.default with n_nodes = 300; max_out_degree = 40 }
+  in
+  let catalog = Qf_workload.Graph.generate config in
+  let arcs = Relation.cardinal (Qf_relational.Catalog.find catalog "arc") in
+  Format.printf "Graph: %d nodes, %d arcs@.@." config.n_nodes arcs;
+
+  List.iter
+    (fun n ->
+      let flock = Qf_workload.Graph.path_flock ~n ~support:20 in
+      let direct, t_direct = time (fun () -> Direct.run catalog flock) in
+      let plan = Qf_workload.Graph.chain_plan flock ~n in
+      let planned, t_plan = time (fun () -> Plan_exec.run catalog plan) in
+      assert (Relation.equal direct planned);
+      Format.printf
+        "n=%d: %3d qualifying nodes | direct %.3fs | %d-step chain plan %.3fs@."
+        n
+        (Relation.cardinal direct)
+        t_direct
+        (List.length (Plan.all_steps plan))
+        t_plan;
+      if n = 2 then
+        Format.printf "@.The Fig. 7 chain plan for n=2:@.@.%s@.@."
+          (Explain.plan_to_string plan))
+    [ 1; 2; 3 ]

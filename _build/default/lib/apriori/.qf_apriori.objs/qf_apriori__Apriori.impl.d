@@ -1,0 +1,1 @@
+lib/apriori/apriori.ml: Array Hashtbl Itemset List Printf Qf_relational

@@ -1,0 +1,1 @@
+lib/apriori/apriori.mli: Itemset Qf_relational

@@ -1,0 +1,1 @@
+lib/apriori/itemset.ml: Array Format Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/apriori/itemset.mli: Format Hashtbl

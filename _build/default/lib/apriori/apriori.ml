@@ -1,0 +1,197 @@
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Value = Qf_relational.Value
+
+type db = Itemset.t list
+
+let db_of_relation rel =
+  let schema = Relation.schema rel in
+  (match Schema.arity schema with
+  | 2 -> ()
+  | n ->
+    invalid_arg
+      (Printf.sprintf "Apriori.db_of_relation: arity %d, expected (BID, Item)" n));
+  let by_basket = Hashtbl.create 1024 in
+  Relation.iter
+    (fun tup ->
+      let item =
+        match tup.(1) with
+        | Value.Int i -> i
+        | v ->
+          invalid_arg
+            (Printf.sprintf "Apriori.db_of_relation: non-integer item %s"
+               (Value.to_string v))
+      in
+      let key = tup.(0) in
+      let existing =
+        match Hashtbl.find_opt by_basket key with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_basket key (item :: existing))
+    rel;
+  Hashtbl.fold (fun _ items acc -> Itemset.of_list items :: acc) by_basket []
+
+type frequent = {
+  itemset : Itemset.t;
+  support : int;
+}
+
+(* Enumerate the size-[k] sub-itemsets of [basket] (sorted), calling [f] on
+   each.  Used to count candidate supports basket-by-basket: a basket of b
+   items yields C(b,k) combinations, usually far fewer than the number of
+   candidates. *)
+let iter_combinations basket k f =
+  let n = Array.length basket in
+  let combo = Array.make k 0 in
+  let rec go pos start =
+    if pos = k then f (Array.copy combo)
+    else
+      for i = start to n - (k - pos) do
+        combo.(pos) <- basket.(i);
+        go (pos + 1) (i + 1)
+      done
+  in
+  if k <= n then go 0 0
+
+let binomial n k =
+  if k > n then 0
+  else begin
+    let acc = ref 1 in
+    for i = 0 to k - 1 do
+      acc := !acc * (n - i) / (i + 1)
+    done;
+    !acc
+  end
+
+let count_supports db candidates =
+  let counts = Itemset.Table.create (List.length candidates * 2) in
+  List.iter (fun c -> Itemset.Table.replace counts c 0) candidates;
+  let n_candidates = List.length candidates in
+  let k = match candidates with c :: _ -> Itemset.size c | [] -> 0 in
+  let bump c =
+    match Itemset.Table.find_opt counts c with
+    | Some n -> Itemset.Table.replace counts c (n + 1)
+    | None -> ()
+  in
+  List.iter
+    (fun basket ->
+      (* Pick the cheaper direction per basket: enumerate the basket's
+         k-subsets against the candidate hash, or scan the candidates. *)
+      if binomial (Array.length basket) k <= n_candidates then
+        iter_combinations basket k bump
+      else
+        Itemset.Table.iter
+          (fun c n ->
+            if Itemset.subset c basket then Itemset.Table.replace counts c (n + 1))
+          counts)
+    db;
+  counts
+
+let frequent_of_counts ~support counts =
+  Itemset.Table.fold
+    (fun itemset n acc ->
+      if n >= support then { itemset; support = n } :: acc else acc)
+    counts []
+  |> List.sort (fun a b -> Itemset.compare a.itemset b.itemset)
+
+let frequent_items db ~support =
+  let counts = Hashtbl.create 1024 in
+  List.iter
+    (fun basket ->
+      Array.iter
+        (fun item ->
+          let n =
+            match Hashtbl.find_opt counts item with Some n -> n | None -> 0
+          in
+          Hashtbl.replace counts item (n + 1))
+        basket)
+    db;
+  Hashtbl.fold
+    (fun item n acc ->
+      if n >= support then { itemset = [| item |]; support = n } :: acc
+      else acc)
+    counts []
+  |> List.sort (fun a b -> Itemset.compare a.itemset b.itemset)
+
+let candidates level =
+  let level = List.sort Itemset.compare level in
+  let kept = Itemset.Table.create 64 in
+  List.iter (fun s -> Itemset.Table.replace kept s ()) level;
+  let joined =
+    List.concat_map
+      (fun a ->
+        List.filter_map (fun b -> Itemset.join a b) level)
+      level
+  in
+  (* a-priori pruning: every (k)-subset of a (k+1)-candidate must be
+     frequent at the previous level *)
+  List.filter
+    (fun c ->
+      List.for_all (fun sub -> Itemset.Table.mem kept sub) (Itemset.drop_one c))
+    joined
+  |> List.sort_uniq Itemset.compare
+
+let mine db ~support ~max_size =
+  let l1 = frequent_items db ~support in
+  let rec levels acc current k =
+    if k >= max_size || current = [] then List.rev acc
+    else begin
+      let cands = candidates (List.map (fun f -> f.itemset) current) in
+      if cands = [] then List.rev acc
+      else begin
+        let counts = count_supports db cands in
+        let next = frequent_of_counts ~support counts in
+        if next = [] then List.rev acc else levels (next :: acc) next (k + 1)
+      end
+    end
+  in
+  if l1 = [] then [] else levels [ l1 ] l1 1
+
+let frequent_of_size db ~support ~size =
+  match List.nth_opt (mine db ~support ~max_size:size) (size - 1) with
+  | Some level -> level
+  | None -> []
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  rule_support : int;
+  confidence : float;
+  interest : float;
+}
+
+let rules db ~support ~max_size ~min_confidence =
+  let levels = mine db ~support ~max_size in
+  let support_of =
+    let table = Itemset.Table.create 256 in
+    List.iter
+      (fun level ->
+        List.iter (fun f -> Itemset.Table.replace table f.itemset f.support) level)
+      levels;
+    fun itemset -> Itemset.Table.find_opt table itemset
+  in
+  let n_baskets = List.length db in
+  let from_itemset f =
+    if Itemset.size f.itemset < 2 then []
+    else
+      List.filter_map
+        (fun consequent_item ->
+          let consequent = [| consequent_item |] in
+          let antecedent = Itemset.minus f.itemset consequent in
+          match support_of antecedent, support_of consequent with
+          | Some sa, Some sc ->
+            let confidence = float_of_int f.support /. float_of_int sa in
+            let p_consequent = float_of_int sc /. float_of_int n_baskets in
+            if confidence >= min_confidence then
+              Some
+                {
+                  antecedent;
+                  consequent;
+                  rule_support = f.support;
+                  confidence;
+                  interest = confidence /. p_consequent;
+                }
+            else None
+          | _ -> None)
+        (Itemset.to_list f.itemset)
+  in
+  List.concat_map (fun level -> List.concat_map from_itemset level) levels

@@ -1,0 +1,49 @@
+(** Classic levelwise frequent-itemset mining (Agrawal–Imielinski–Swami 1993
+    / Agrawal–Srikant 1994) — the specialist algorithm the paper's query
+    flocks generalize, used here as the E8 baseline and the correctness
+    cross-check for the levelwise flock plan.
+
+    The algorithm: [L1] = items with support >= s; repeat: candidates
+    [C(k+1)] come from joining compatible pairs of [Lk] and pruning any
+    candidate with an infrequent k-subset (the a-priori trick); [L(k+1)] =
+    candidates reaching support s in a scan of the baskets. *)
+
+(** A transaction database: each basket is an itemset. *)
+type db = Itemset.t list
+
+(** Convert a (BID, Item) relation with integer items to a database.
+    Raises [Invalid_argument] on non-integer item values. *)
+val db_of_relation : Qf_relational.Relation.t -> db
+
+type frequent = {
+  itemset : Itemset.t;
+  support : int;  (** number of baskets containing the itemset *)
+}
+
+(** [mine db ~support ~max_size] — all frequent itemsets up to [max_size]
+    items, grouped by level: element [k-1] of the result lists the frequent
+    k-itemsets.  Levels stop early when empty. *)
+val mine : db -> support:int -> max_size:int -> frequent list list
+
+(** Frequent itemsets of exactly [size] items, sorted by itemset. *)
+val frequent_of_size : db -> support:int -> size:int -> frequent list
+
+(** Candidate generation alone (join + prune), exposed for tests. *)
+val candidates : Itemset.t list -> Itemset.t list
+
+(** {1 Association rules} *)
+
+type rule = {
+  antecedent : Itemset.t;
+  consequent : Itemset.t;
+  rule_support : int;  (** baskets containing antecedent ∪ consequent *)
+  confidence : float;  (** support(A ∪ B) / support(A) *)
+  interest : float;
+      (** confidence / P(B): > 1 means positively correlated, < 1 negatively
+          (paper Sec. 1.1's third measure) *)
+}
+
+(** All rules [A -> B] with [B] a single item, from the frequent itemsets of
+    [db], meeting the confidence floor. *)
+val rules :
+  db -> support:int -> max_size:int -> min_confidence:float -> rule list

@@ -1,0 +1,1 @@
+lib/core/apriori_gen.ml: Array Cost Filter Flock Format List Option Plan Printf Qf_datalog Result String

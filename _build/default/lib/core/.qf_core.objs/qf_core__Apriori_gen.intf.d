@@ -1,0 +1,1 @@
+lib/core/apriori_gen.mli: Cost Flock Plan

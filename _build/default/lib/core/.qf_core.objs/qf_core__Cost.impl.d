@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Float List Option Plan Printf Qf_datalog Qf_relational String

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Plan Qf_datalog Qf_relational

@@ -1,0 +1,1 @@
+lib/core/direct.ml: Filter Flock Qf_datalog Qf_relational

@@ -1,0 +1,1 @@
+lib/core/direct.mli: Flock Qf_relational

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Filter Float Flock Hashtbl List Logs Option Printf Qf_datalog Qf_relational Result String

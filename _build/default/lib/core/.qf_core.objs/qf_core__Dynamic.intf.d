@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Flock Qf_relational Stdlib

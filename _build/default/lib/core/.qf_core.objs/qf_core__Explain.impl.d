@@ -1,0 +1,1 @@
+lib/core/explain.ml: Filter Flock Format List Plan Printf Qf_datalog String

@@ -1,0 +1,1 @@
+lib/core/filter.ml: Float Format List Printf Qf_relational String

@@ -1,0 +1,1 @@
+lib/core/flock.ml: Filter Format List Qf_datalog Result

@@ -1,0 +1,1 @@
+lib/core/flock.mli: Filter Format Qf_datalog

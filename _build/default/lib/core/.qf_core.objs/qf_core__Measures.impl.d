@@ -1,0 +1,1 @@
+lib/core/measures.ml: Apriori_gen Array Direct Float Format List Qf_relational

@@ -1,0 +1,1 @@
+lib/core/naive.ml: Filter Flock List Option Printf Qf_datalog Qf_relational Set String

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Apriori_gen Cost Filter Float Flock List Plan

@@ -1,0 +1,1 @@
+lib/core/parse.ml: Filter Flock Format List Printf Qf_datalog Result String

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Filter Flock Format List Qf_datalog Result String

@@ -1,0 +1,1 @@
+lib/core/plan_exec.ml: Filter Flock Hashtbl List Logs Plan Printf Qf_datalog Qf_relational

@@ -1,0 +1,1 @@
+lib/core/plan_exec.mli: Plan Qf_relational

@@ -1,0 +1,1 @@
+lib/core/sequence.ml: Array List Printf Qf_datalog Qf_relational

@@ -1,0 +1,1 @@
+lib/core/views.ml: Qf_datalog

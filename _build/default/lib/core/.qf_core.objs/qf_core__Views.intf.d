@@ -1,0 +1,1 @@
+lib/core/views.mli: Qf_datalog Qf_relational

@@ -1,0 +1,51 @@
+(** Plan generation: the generalized a-priori strategies of Sec. 4.3.
+
+    Strategy 1 ({!param_set_plan}): choose parameter sets; for each, one
+    FILTER step built from a safe subquery with exactly those parameters
+    (per rule of the union, Sec. 3.4); the final step joins all resulting
+    [ok] relations into the original query.  This specializes to classic
+    a-priori for two-item sets.
+
+    Strategy 2 ({!chain_plan}): a sequence of steps over growing subsets of
+    the subgoals, each step's query including the previous step's [ok]
+    relation — the (n+1)-step plan of Fig. 7.  {!levelwise_basket} uses the
+    same idea plus parameter symmetry to reproduce classic a-priori for
+    k-item sets (footnote 3). *)
+
+(** How to choose, per rule, among the safe subqueries with a given
+    parameter set.  [`Fewest_subgoals] favors the cheapest-looking bound;
+    [`Cheapest env] ranks by {!Cost.estimate_rule}. *)
+type selection = [ `Fewest_subgoals | `Cheapest of Cost.env ]
+
+(** [param_set_plan flock ~param_sets] builds a strategy-1 plan with one
+    auxiliary step per parameter set (in the given order).  Fails if some
+    rule of the union has no safe subquery for one of the sets, or if a set
+    is empty/not a subset of the flock's parameters. *)
+val param_set_plan :
+  ?selection:selection ->
+  Flock.t ->
+  param_sets:string list list ->
+  (Plan.t, string) result
+
+(** Strategy 1 with every singleton parameter set (the Fig. 5 shape).
+    Parameter sets that admit no safe subquery are skipped silently. *)
+val singleton_plan : ?selection:selection -> Flock.t -> (Plan.t, string) result
+
+(** [chain_plan flock ~prefixes] (single-rule flocks): step [k] keeps the
+    body literals whose indices are in [List.nth prefixes k] plus the
+    previous step's [ok] subgoal.  Every prefix must yield a safe rule with
+    the full parameter set.  Reproduces Fig. 7 when the prefixes grow one
+    arc at a time. *)
+val chain_plan : Flock.t -> prefixes:int list list -> (Plan.t, string) result
+
+(** [basket_flock ~pred ~k ~support] is the market-basket flock for k-item
+    sets: [answer(B) :- pred(B,$i1) AND ... AND pred(B,$ik) AND $i1 < $i2
+    AND ...], [COUNT >= support]. *)
+val basket_flock : pred:string -> k:int -> support:int -> Flock.t
+
+(** The levelwise a-priori plan for {!basket_flock}: one step per level
+    [j = 1 .. k-1] computing the frequent [j]-sets, each level pruned by
+    {e all} its [(j-1)]-subsets via the symmetry of the parameters; the
+    final step computes the frequent k-sets.  This is classic a-priori
+    expressed as a query-flock plan. *)
+val levelwise_basket : pred:string -> k:int -> support:int -> Flock.t * Plan.t

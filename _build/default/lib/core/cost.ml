@@ -1,0 +1,303 @@
+module Ast = Qf_datalog.Ast
+module Catalog = Qf_relational.Catalog
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Statistics = Qf_relational.Statistics
+
+type vstats = {
+  rows : float;
+  distinct : float array;
+  frequencies : int array array;
+}
+
+type env = (string * vstats) list
+
+let of_catalog catalog =
+  List.map
+    (fun name ->
+      let stats = Catalog.stats catalog name in
+      let columns = Schema.columns (Relation.schema (Catalog.find catalog name)) in
+      ( name,
+        {
+          rows = float_of_int (Statistics.cardinality stats);
+          distinct =
+            Array.of_list
+              (List.map
+                 (fun c -> float_of_int (Statistics.distinct stats c))
+                 columns);
+          frequencies =
+            Array.of_list
+              (List.map (fun c -> Statistics.frequencies stats c) columns);
+        } ))
+    (Catalog.names catalog)
+
+let extend env name stats = (name, stats) :: env
+let lookup env name = List.assoc_opt name env
+
+let lookup_exn env name =
+  match lookup env name with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "Cost: no statistics for predicate %s" name)
+
+type estimate = {
+  work : float;
+  rows : float;
+}
+
+(* Expected index matches per environment for [atom] given bound keys. *)
+let est_matches env bound (a : Ast.atom) =
+  let (s : vstats) = lookup_exn env a.pred in
+  let est = ref s.rows in
+  List.iteri
+    (fun i arg ->
+      let is_bound =
+        match arg with
+        | Ast.Const _ -> true
+        | Ast.Var _ | Ast.Param _ -> List.mem (Ast.binding_key arg) bound
+      in
+      if is_bound && i < Array.length s.distinct then
+        est := !est /. Float.max 1. s.distinct.(i))
+    a.args;
+  Float.max 0. !est
+
+let atom_keys (a : Ast.atom) =
+  List.filter_map
+    (function
+      | (Ast.Var _ | Ast.Param _) as t -> Some (Ast.binding_key t)
+      | Ast.Const _ -> None)
+    a.args
+
+(* Greedy simulation of the evaluator's join order; negations and
+   comparisons are charged a pass over the current rows and a default
+   selectivity. *)
+let neg_selectivity = 0.8
+let cmp_selectivity = 0.5
+
+let estimate_rule env (r : Ast.rule) =
+  let rec loop bound rows work remaining =
+    match remaining with
+    | [] -> { work; rows }
+    | _ ->
+      let ready, rest =
+        List.partition
+          (fun lit ->
+            match lit with
+            | Ast.Pos _ -> false
+            | Ast.Neg _ | Ast.Cmp _ ->
+              List.for_all
+                (fun k -> List.mem k bound)
+                (List.map (fun v -> v) (Ast.literal_vars lit)
+                @ List.map (fun p -> "$" ^ p) (Ast.literal_params lit)))
+          remaining
+      in
+      if ready <> [] then begin
+        let selectivity =
+          List.fold_left
+            (fun acc lit ->
+              match lit with
+              | Ast.Neg _ -> acc *. neg_selectivity
+              | Ast.Cmp _ -> acc *. cmp_selectivity
+              | Ast.Pos _ -> acc)
+            1. ready
+        in
+        loop bound (rows *. selectivity) (work +. rows) rest
+      end
+      else begin
+        let candidates =
+          List.filter_map
+            (function Ast.Pos a -> Some a | Ast.Neg _ | Ast.Cmp _ -> None)
+            rest
+        in
+        match candidates with
+        | [] -> { work; rows }
+        | _ ->
+          let best =
+            List.fold_left
+              (fun acc a ->
+                let m = est_matches env bound a in
+                match acc with
+                | None -> Some (a, m)
+                | Some (_, bm) -> if m < bm then Some (a, m) else acc)
+              None candidates
+          in
+          let a, m = Option.get best in
+          let rows' = rows *. m in
+          let rest' =
+            let removed = ref false in
+            List.filter
+              (fun lit ->
+                match lit with
+                | Ast.Pos a' when (not !removed) && Ast.equal_atom a' a ->
+                  removed := true;
+                  false
+                | _ -> true)
+              rest
+          in
+          loop
+            (List.sort_uniq String.compare (bound @ atom_keys a))
+            rows' (work +. rows') rest'
+      end
+  in
+  loop [] 1. 0. r.body
+
+let estimate_query env (q : Ast.query) =
+  List.fold_left
+    (fun acc r ->
+      let e = estimate_rule env r in
+      { work = acc.work +. e.work; rows = acc.rows +. e.rows })
+    { work = 0.; rows = 0. }
+    q
+
+(* Domain of a parameter within a query: the smallest distinct count among
+   its positive occurrences (any rule). *)
+let param_domain env (q : Ast.query) param =
+  let occ = ref infinity in
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter
+        (fun (a : Ast.atom) ->
+          let s = lookup_exn env a.pred in
+          List.iteri
+            (fun i arg ->
+              match arg with
+              | Ast.Param p
+                when String.equal p param && i < Array.length s.distinct ->
+                occ := Float.min !occ s.distinct.(i)
+              | _ -> ())
+            a.args)
+        (Ast.positive_atoms r))
+    q;
+  if !occ = infinity then 1. else Float.max 1. !occ
+
+let estimate_groups env q params =
+  List.fold_left (fun acc p -> acc *. param_domain env q p) 1. params
+
+(* Exact survivors for the single-subgoal, single-parameter COUNT shape:
+   answer(..) :- p(..., $x, ...).  The number of $x values passing the
+   threshold is the number of column values with at least [threshold]
+   occurrences — read directly off the column's frequency distribution. *)
+let exact_survivors env ~threshold (s : Plan.step) =
+  match s.query, s.params with
+  | [ { Ast.body = [ Ast.Pos a ]; _ } ], [ p ] ->
+    let position =
+      List.find_index
+        (fun arg ->
+          match arg with
+          | Ast.Param p' -> String.equal p p'
+          | Ast.Var _ | Ast.Const _ -> false)
+        a.args
+    in
+    Option.bind position (fun i ->
+        match lookup env a.pred with
+        | Some (stats : vstats) when i < Array.length stats.frequencies ->
+          let freqs = stats.frequencies.(i) in
+          if Array.length freqs = 0 then None
+          else begin
+            let c = int_of_float (Float.round threshold) in
+            let n = Array.length freqs in
+            let rec search lo hi =
+              if lo >= hi then lo
+              else
+                let mid = (lo + hi) / 2 in
+                if freqs.(mid) >= c then search (mid + 1) hi else search lo mid
+            in
+            Some (float_of_int (search 0 n))
+          end
+        | _ -> None)
+  | _ -> None
+
+let estimate_step env ~threshold (s : Plan.step) =
+  let e = estimate_query env s.query in
+  let groups = estimate_groups env s.query s.params in
+  let avg = if groups <= 0. then 0. else e.rows /. groups in
+  let survival =
+    if threshold <= 0. then 1.
+    else if avg >= threshold then 1.
+    else avg /. threshold
+  in
+  let survivors =
+    match exact_survivors env ~threshold s with
+    | Some exact -> Float.max 1. exact
+    | None -> Float.max 1. (groups *. survival)
+  in
+  let per_column = Float.max 1. survivors in
+  let out_stats =
+    {
+      rows = survivors;
+      distinct = Array.make (List.length s.params) per_column;
+      frequencies = [||];
+    }
+  in
+  (* Materializing the tabulated relation and grouping it cost roughly
+     three passes over its rows (hash-set insert, key projection, group
+     index) on top of the join work itself. *)
+  e.work +. (3. *. e.rows), out_stats
+
+(* Total row mass carried by the column values meeting the threshold. *)
+let mass_at_least freqs c =
+  Array.fold_left (fun acc f -> if f >= c then acc +. float_of_int f else acc) 0. freqs
+
+(* Model the executor's semijoin reduction: for every single-parameter
+   auxiliary step, shrink the statistics of the base atoms the final query
+   applies that parameter to.  Without this, the model sees few surviving
+   values but misses that those values carry most of the row mass on
+   skewed data — the exact mistake that made filtering look free. *)
+let reduce_env_for_final env ~threshold (plan : Plan.t) =
+  let single_param_steps =
+    List.filter_map
+      (fun (s : Plan.step) ->
+        match s.params with [ p ] -> Some (p, s) | _ -> None)
+      plan.steps
+  in
+  List.fold_left
+    (fun env (r : Ast.rule) ->
+      List.fold_left
+        (fun env (a : Ast.atom) ->
+          List.fold_left
+            (fun env (i, arg) ->
+              match arg with
+              | Ast.Param p -> (
+                match List.assoc_opt p single_param_steps with
+                | None -> env
+                | Some _ -> (
+                  match lookup env a.pred with
+                  | Some (stats : vstats)
+                    when i < Array.length stats.frequencies
+                         && Array.length stats.frequencies.(i) > 0 ->
+                    let c = int_of_float (Float.round threshold) in
+                    let freqs = stats.frequencies.(i) in
+                    let kept_mass = mass_at_least freqs c in
+                    let kept_values =
+                      float_of_int
+                        (Array.fold_left
+                           (fun acc f -> if f >= c then acc + 1 else acc)
+                           0 freqs)
+                    in
+                    let distinct = Array.copy stats.distinct in
+                    if i < Array.length distinct then
+                      distinct.(i) <- Float.max 1. kept_values;
+                    extend env a.pred
+                      {
+                        stats with
+                        rows = Float.min stats.rows (Float.max 1. kept_mass);
+                        distinct;
+                      }
+                  | _ -> env))
+              | Ast.Var _ | Ast.Const _ -> env)
+            env
+            (List.mapi (fun i arg -> i, arg) a.args))
+        env (Ast.positive_atoms r))
+    env plan.final.query
+
+let estimate_plan env (plan : Plan.t) =
+  let threshold = plan.flock.filter.threshold in
+  let env, work =
+    List.fold_left
+      (fun (env, acc) s ->
+        let w, out = estimate_step env ~threshold s in
+        extend env s.Plan.name out, acc +. w)
+      (env, 0.) plan.steps
+  in
+  let final_env = reduce_env_for_final env ~threshold plan in
+  let w, _ = estimate_step final_env ~threshold plan.final in
+  work +. w

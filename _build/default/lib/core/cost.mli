@@ -1,0 +1,63 @@
+(** Cost model for flock query plans (paper Sec. 4.3: "the general theory of
+    cost-based optimization applies here").
+
+    Estimates follow System-R conventions: the work of a binding-passing
+    join is the sum of intermediate result sizes; per-subgoal match counts
+    divide the relation's cardinality by the distinct counts of the bound
+    columns (independence assumption).  FILTER-step survivor counts use a
+    deliberately simple linear heuristic — if the expected number of answer
+    tuples per parameter assignment [avg] is below the threshold [s], a
+    fraction [avg/s] of assignments is assumed to survive, else no pruning
+    is assumed.  The model is only used to rank plans; the dynamic executor
+    (Sec. 4.4) is the paper's own answer to the model's imprecision. *)
+
+(** Virtual statistics for one predicate. *)
+type vstats = {
+  rows : float;
+  distinct : float array;  (** per column position *)
+  frequencies : int array array;
+      (** per column, per-value tuple counts descending; empty arrays for
+          derived relations whose distribution is unknown *)
+}
+
+(** Statistics environment: predicate name -> stats.  Plan costing extends
+    it with estimates for step outputs. *)
+type env
+
+(** Statistics for every relation in the catalog. *)
+val of_catalog : Qf_relational.Catalog.t -> env
+
+(** Add (or override) a predicate's stats, e.g. an auxiliary step output. *)
+val extend : env -> string -> vstats -> env
+
+val lookup : env -> string -> vstats option
+
+type estimate = {
+  work : float;  (** total intermediate tuples touched *)
+  rows : float;  (** tabulated result size (params x head bindings) *)
+}
+
+(** Estimate tabulating one rule (greedy join order, mirroring the
+    evaluator's).  Raises [Failure] on a predicate missing from [env]. *)
+val estimate_rule : env -> Qf_datalog.Ast.rule -> estimate
+
+(** Union: work adds up, rows add up (upper bound, ignores overlap). *)
+val estimate_query : env -> Qf_datalog.Ast.query -> estimate
+
+(** Estimated number of distinct assignments of the given parameters
+    (product of the parameters' smallest positive-occurrence column distinct
+    counts across the rules of the query). *)
+val estimate_groups : env -> Qf_datalog.Ast.query -> string list -> float
+
+(** [estimate_step env flock step] estimates executing one FILTER step:
+    returns the estimated work and the {!vstats} of the step's output
+    relation (the surviving parameter assignments).  When the step is a
+    single-rule, single-positive-subgoal COUNT filter over one parameter,
+    the survivor count is computed {e exactly} from the column's frequency
+    distribution (Ex. 4.4's statistics gathering); otherwise the linear
+    heuristic applies. *)
+val estimate_step : env -> threshold:float -> Plan.step -> float * vstats
+
+(** Total estimated work of a plan (auxiliary steps plus final step, with
+    each step's output statistics fed into later estimates). *)
+val estimate_plan : env -> Plan.t -> float

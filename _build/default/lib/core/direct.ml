@@ -1,0 +1,13 @@
+module Eval = Qf_datalog.Eval
+module Aggregate = Qf_relational.Aggregate
+
+let tabulate catalog (flock : Flock.t) = Eval.tabulate_query catalog flock.query
+
+let run catalog (flock : Flock.t) =
+  let tab = tabulate catalog flock in
+  let func =
+    Filter.to_aggregate flock.filter ~head_columns:(Flock.head_columns flock)
+  in
+  Aggregate.group_filter tab
+    ~keys:(Flock.result_columns flock)
+    ~func ~threshold:flock.filter.threshold

@@ -1,0 +1,16 @@
+(** Direct ("SQL-style") flock evaluation — the paper's Fig. 1 baseline.
+
+    Evaluate the full query with parameters as free grouping variables,
+    group by the parameters, aggregate the distinct answer tuples of each
+    group, and keep the groups passing the filter.  This is what a
+    conventional DBMS does with the GROUP BY / HAVING formulation, with no
+    a-priori pruning — correct, and the yardstick the optimized plans are
+    measured against. *)
+
+(** Result relation over the flock's {!Flock.result_columns}. *)
+val run : Qf_relational.Catalog.t -> Flock.t -> Qf_relational.Relation.t
+
+(** The tabulated (ungrouped) relation: parameters columns followed by head
+    columns.  Exposed for diagnostics and benchmarks that want to report
+    intermediate sizes. *)
+val tabulate : Qf_relational.Catalog.t -> Flock.t -> Qf_relational.Relation.t

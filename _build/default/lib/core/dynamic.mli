@@ -1,0 +1,62 @@
+(** Dynamic selection of filter steps (paper Sec. 4.4).
+
+    A join order is fixed up front (the evaluator's greedy order, or a
+    caller-supplied one); whether to interpose a FILTER step after each join
+    is decided {e at execution time} from the sizes of the intermediate
+    result, not estimated in advance:
+
+    - if the current parameter set [S] has not been filtered before, filter
+      when the average number of tuples per [S]-assignment is below
+      [ratio_factor * threshold] (few tuples per assignment means many
+      assignments are about to die);
+    - if [S] was seen before, filter when the average has dropped below
+      [improvement_factor] times the best previously observed average
+      (something substantial changed since the last filtering opportunity).
+
+    A filter step is only possible once the head variables are bound (the
+    prefix must be a safe subquery).
+
+    {b Unions} (Sec. 3.4) need care: an assignment can fail one rule's
+    prefix count and still reach the threshold through the other rules, so
+    pruning a branch from its own counts alone is unsound.  The executor
+    therefore precomputes, for every rule [j] and parameter [p], the
+    per-value answer-count bound of [j]'s minimal safe subquery for [p];
+    while evaluating rule [i], assignment [a] is pruned only when
+
+    {v prefix_count_i(a) + sum over j<>i of B_j(a) < threshold v}
+
+    with [B_j(a) = min over p of bound_{j,p}(a_p)] — then the union total
+    provably fails the filter ([|A ∪ B| <= |A| + |B|]), so dropping [a]
+    from branch [i] cannot change the result.  Union support covers COUNT
+    filters; SUM/MAX unions return [Error] (their per-rule bounds would
+    need weighted subquery aggregates). *)
+
+type config = {
+  ratio_factor : float;  (** default 1.0 *)
+  improvement_factor : float;  (** default 0.5 *)
+}
+
+val default_config : config
+
+type decision = {
+  after : string;  (** the literal just applied (paper syntax) *)
+  param_set : string list;  (** parameters bound at this point *)
+  rows : int;  (** environments after the literal *)
+  assignments : int;  (** distinct parameter assignments among them *)
+  ratio : float;  (** rows / assignments *)
+  filtered : bool;
+  survivors : int option;  (** assignments surviving, when filtered *)
+}
+
+type result = {
+  answers : Qf_relational.Relation.t;  (** the flock's result *)
+  trace : decision list;  (** one decision per body literal, in join order *)
+}
+
+(** Raises nothing; returns [Error] for unions, non-monotone filters, and
+    evaluation failures. *)
+val run :
+  ?config:config ->
+  Qf_relational.Catalog.t ->
+  Flock.t ->
+  (result, string) Stdlib.result

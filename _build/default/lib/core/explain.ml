@@ -1,0 +1,30 @@
+module Pretty = Qf_datalog.Pretty
+
+let pp_params ppf params =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       (fun ppf p -> Format.fprintf ppf "$%s" p))
+    params
+
+let pp_step ~filter ~head ppf (s : Plan.step) =
+  Format.fprintf ppf "@[<v 4>%s%a := FILTER(%a,@,%a,@,%a@]@,);" s.name
+    pp_params s.params pp_params s.params Pretty.pp_query s.query
+    (Filter.pp ~head) filter
+
+let pp_plan ppf (plan : Plan.t) =
+  let head = Flock.head_name plan.flock in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+       (pp_step ~filter:plan.flock.filter ~head))
+    (Plan.all_steps plan)
+
+let plan_to_string plan = Format.asprintf "%a" pp_plan plan
+
+let plan_summary (plan : Plan.t) =
+  Plan.all_steps plan
+  |> List.map (fun (s : Plan.step) ->
+         Printf.sprintf "%s(%s)" s.name
+           (String.concat "," (List.map (fun p -> "$" ^ p) s.params)))
+  |> String.concat " -> "

@@ -1,0 +1,18 @@
+(** Rendering plans in the paper's FILTER-program notation (cf. Fig. 5):
+
+    {v
+    ok_s($s) := FILTER(($s),
+        answer(P) :-
+            exhibits(P,$s),
+        COUNT(answer(star)) >= 20
+    );
+    v}
+
+    where [star] stands for the asterisk the real output prints. *)
+
+val pp_step : filter:Filter.t -> head:string -> Format.formatter -> Plan.step -> unit
+val pp_plan : Format.formatter -> Plan.t -> unit
+val plan_to_string : Plan.t -> string
+
+(** One-line summary: step names with their parameter sets. *)
+val plan_summary : Plan.t -> string

@@ -1,0 +1,56 @@
+module Value = Qf_relational.Value
+module Aggregate = Qf_relational.Aggregate
+
+type agg =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+
+type t = { agg : agg; threshold : float }
+
+let count_at_least n = { agg = Count; threshold = float_of_int n }
+let sum_at_least column threshold = { agg = Sum column; threshold }
+
+let is_monotone t =
+  match t.agg with Count | Sum _ | Max _ -> true | Min _ -> false
+
+let to_aggregate t ~head_columns =
+  let checked column =
+    if List.mem column head_columns then column
+    else
+      failwith
+        (Printf.sprintf "Filter.to_aggregate: %s is not a head column" column)
+  in
+  match t.agg with
+  | Count -> Aggregate.Count
+  | Sum c -> Aggregate.Sum (checked c)
+  | Min c -> Aggregate.Min (checked c)
+  | Max c -> Aggregate.Max (checked c)
+
+let holds t value =
+  match Value.to_float value with
+  | Some x -> x >= t.threshold
+  | None ->
+    (* MIN/MAX of a string column: compare against nothing sensible. *)
+    false
+
+let pp_threshold ppf x =
+  if Float.is_integer x then Format.fprintf ppf "%.0f" x
+  else Format.fprintf ppf "%g" x
+
+let pp ~head ppf t =
+  match t.agg with
+  | Count ->
+    Format.fprintf ppf "COUNT(%s(*)) >= %a" head pp_threshold t.threshold
+  | Sum c -> Format.fprintf ppf "SUM(%s.%s) >= %a" head c pp_threshold t.threshold
+  | Min c -> Format.fprintf ppf "MIN(%s.%s) >= %a" head c pp_threshold t.threshold
+  | Max c -> Format.fprintf ppf "MAX(%s.%s) >= %a" head c pp_threshold t.threshold
+
+let equal a b =
+  a.threshold = b.threshold
+  &&
+  match a.agg, b.agg with
+  | Count, Count -> true
+  | Sum x, Sum y | Min x, Min y | Max x, Max y -> String.equal x y
+  | (Count | Sum _ | Min _ | Max _), _ -> false

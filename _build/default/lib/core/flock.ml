@@ -1,0 +1,46 @@
+module Ast = Qf_datalog.Ast
+module Safety = Qf_datalog.Safety
+module Eval = Qf_datalog.Eval
+module Pretty = Qf_datalog.Pretty
+
+type t = { query : Ast.query; filter : Filter.t }
+
+let head_columns_of_query q = Eval.head_columns (List.hd q)
+
+let make query filter =
+  let ( let* ) r f = Result.bind r f in
+  let* () = Ast.wf_query query in
+  let* () = Safety.check_query query in
+  let* () =
+    if Ast.query_params query = [] then
+      Error "flock has no parameters: nothing to mine"
+    else Ok ()
+  in
+  let* () =
+    match
+      Filter.to_aggregate filter ~head_columns:(head_columns_of_query query)
+    with
+    | _ -> Ok ()
+    | exception Failure msg -> Error msg
+  in
+  Ok { query; filter }
+
+let make_exn query filter =
+  match make query filter with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Flock.make: " ^ msg)
+
+let params t = Ast.query_params t.query
+let result_columns t = List.map (fun p -> "$" ^ p) (params t)
+let head_name t = (List.hd t.query).Ast.head.pred
+let head_columns t = head_columns_of_query t.query
+let rule_count t = List.length t.query
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>QUERY:@,@,%a@,@,FILTER:@,@,%a@]" Pretty.pp_query
+    t.query
+    (Filter.pp ~head:(head_name t))
+    t.filter
+
+let to_string t = Format.asprintf "%a" pp t
+let equal a b = List.equal Ast.equal_rule a.query b.query && Filter.equal a.filter b.filter

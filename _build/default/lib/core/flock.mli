@@ -1,0 +1,41 @@
+(** Query flocks (paper Sec. 2): a parametrized query plus a filter.
+
+    The {e result} of a flock is the set of parameter assignments for which
+    the instantiated query's answer passes the filter — a relation whose
+    columns are the parameters, not the query's answer. *)
+
+type t = private {
+  query : Qf_datalog.Ast.query;  (** union of extended CQs *)
+  filter : Filter.t;
+}
+
+(** Validates {!Qf_datalog.Ast.wf_query}, safety of every rule, at least one
+    parameter, and that a [SUM]/[MIN]/[MAX] filter names a head column. *)
+val make : Qf_datalog.Ast.query -> Filter.t -> (t, string) result
+
+(** Like {!make} but raises [Invalid_argument]. *)
+val make_exn : Qf_datalog.Ast.query -> Filter.t -> t
+
+(** Sorted parameter names (without [$]). *)
+val params : t -> string list
+
+(** Result schema column names: parameters prefixed with [$], sorted. *)
+val result_columns : t -> string list
+
+(** Head predicate name (e.g. ["answer"]). *)
+val head_name : t -> string
+
+(** Head column names (see {!Qf_datalog.Eval.head_columns}), taken from the
+    first rule of the union. *)
+val head_columns : t -> string list
+
+(** Number of rules in the union. *)
+val rule_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Render as a full flock program ([QUERY:] / [FILTER:] sections);
+    re-parses with {!Parse.flock} to an equal flock. *)
+val to_string : t -> string
+
+val equal : t -> t -> bool

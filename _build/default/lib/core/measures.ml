@@ -1,0 +1,82 @@
+module Catalog = Qf_relational.Catalog
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Value = Qf_relational.Value
+module Aggregate = Qf_relational.Aggregate
+module Join = Qf_relational.Join
+
+type rule = {
+  antecedent : Value.t;
+  consequent : Value.t;
+  pair_support : int;
+  confidence : float;
+  interest : float;
+}
+
+let pair_rules catalog ~pred ~support ~min_confidence =
+  if support < 1 then invalid_arg "Measures.pair_rules: support must be >= 1";
+  let baskets = Catalog.find catalog pred in
+  let columns = Schema.columns (Relation.schema baskets) in
+  let bid_col = List.hd columns and item_col = List.nth columns 1 in
+  let n_baskets = List.length (Relation.column_values baskets bid_col) in
+  (* Item supports: distinct baskets per item. *)
+  let item_support =
+    Aggregate.group_by baskets ~keys:[ item_col ] ~func:Aggregate.Count
+    |> List.map (fun (key, v) ->
+           ( key.(0),
+             match Value.to_float v with Some f -> int_of_float f | None -> 0 ))
+  in
+  let support_of item =
+    match List.find_opt (fun (i, _) -> Value.equal i item) item_support with
+    | Some (_, n) -> n
+    | None -> 0
+  in
+  (* The a-priori trick, by hand: restrict baskets to frequent items before
+     the pair join (the paper's Sec. 1.3 rewrite). *)
+  let frequent_items =
+    Aggregate.group_filter baskets ~keys:[ item_col ] ~func:Aggregate.Count
+      ~threshold:(float_of_int support)
+  in
+  let reduced = Join.semi baskets frequent_items [ item_col, item_col ] in
+  let work = Catalog.copy catalog in
+  Catalog.add work pred reduced;
+  let tab = Direct.tabulate work (Apriori_gen.basket_flock ~pred ~k:2 ~support) in
+  let counts = Aggregate.group_by tab ~keys:[ "$1"; "$2" ] ~func:Aggregate.Count in
+  let directed =
+    List.concat_map
+      (fun (key, v) ->
+        let n =
+          match Value.to_float v with Some f -> int_of_float f | None -> 0
+        in
+        if n < support then []
+        else begin
+          let a = key.(0) and b = key.(1) in
+          [ a, b, n; b, a, n ]
+        end)
+      counts
+  in
+  List.filter_map
+    (fun (a, b, n) ->
+      let sa = support_of a and sb = support_of b in
+      if sa = 0 || sb = 0 || n_baskets = 0 then None
+      else begin
+        let confidence = float_of_int n /. float_of_int sa in
+        if confidence < min_confidence then None
+        else
+          Some
+            {
+              antecedent = a;
+              consequent = b;
+              pair_support = n;
+              confidence;
+              interest =
+                confidence /. (float_of_int sb /. float_of_int n_baskets);
+            }
+      end)
+    directed
+  |> List.sort (fun x y -> Float.compare y.interest x.interest)
+
+let pp_rule ppf r =
+  Format.fprintf ppf "%a -> %a  support %d  confidence %.2f  interest %.2f"
+    Value.pp r.antecedent Value.pp r.consequent r.pair_support r.confidence
+    r.interest

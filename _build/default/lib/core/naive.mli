@@ -1,0 +1,29 @@
+(** Reference semantics: generate-and-test (paper Sec. 2).
+
+    "We determine the acceptable parameter assignments by, in principle,
+    trying all such assignments in the query, evaluating the query, and
+    seeing whether the result passes the filter test."
+
+    The assignment space is the cross product of each parameter's {e active
+    domain} — the values the parameter can take from the columns where it
+    occurs in positive subgoals (any assignment outside it yields an empty
+    answer and cannot pass a support filter with positive threshold).  This
+    evaluator is exponential and exists as the oracle the optimized
+    evaluators are tested against. *)
+
+(** Raises [Invalid_argument] if the assignment space exceeds
+    [max_assignments] (default [2_000_000]); raises
+    {!Qf_datalog.Eval.Error} on evaluation failure. *)
+val run :
+  ?max_assignments:int ->
+  Qf_relational.Catalog.t ->
+  Flock.t ->
+  Qf_relational.Relation.t
+
+(** The per-parameter active domains used by {!run}: for each parameter (in
+    sorted order), the union over rules of the intersection, within a rule,
+    of the column values at the parameter's positive occurrences. *)
+val domains :
+  Qf_relational.Catalog.t ->
+  Flock.t ->
+  (string * Qf_relational.Value.t list) list

@@ -1,0 +1,134 @@
+module Lexer = Qf_datalog.Lexer
+module Parser = Qf_datalog.Parser
+
+let parse_agg st head_pred =
+  let agg_name =
+    match Parser.next st with
+    | Lexer.Uident name -> name
+    | tok ->
+      raise
+        (Parser.Error
+           (Format.asprintf "expected an aggregate name, found %a"
+              Lexer.pp_token tok))
+  in
+  Parser.expect st Lexer.Lparen;
+  (match Parser.next st with
+  | Lexer.Lident p when String.equal p head_pred -> ()
+  | Lexer.Lident p ->
+    raise
+      (Parser.Error
+         (Printf.sprintf "filter aggregates %s but the query head is %s" p
+            head_pred))
+  | tok ->
+    raise
+      (Parser.Error
+         (Format.asprintf "expected the head predicate name, found %a"
+            Lexer.pp_token tok)));
+  let column =
+    match Parser.next st with
+    | Lexer.Dot -> (
+      match Parser.next st with
+      | Lexer.Uident c | Lexer.Lident c -> Some c
+      | tok ->
+        raise
+          (Parser.Error
+             (Format.asprintf "expected a column name, found %a" Lexer.pp_token
+                tok)))
+    | Lexer.Lparen ->
+      Parser.expect st Lexer.Star;
+      Parser.expect st Lexer.Rparen;
+      None
+    | tok ->
+      raise
+        (Parser.Error
+           (Format.asprintf "expected '.' or '(*)', found %a" Lexer.pp_token
+              tok))
+  in
+  Parser.expect st Lexer.Rparen;
+  Parser.expect st (Lexer.Cmp Qf_datalog.Ast.Ge);
+  let threshold =
+    match Parser.next st with
+    | Lexer.Int i -> float_of_int i
+    | Lexer.Real f -> f
+    | tok ->
+      raise
+        (Parser.Error
+           (Format.asprintf "expected a numeric threshold, found %a"
+              Lexer.pp_token tok))
+  in
+  let agg =
+    match agg_name, column with
+    | "COUNT", _ -> Filter.Count
+    | "SUM", Some c -> Filter.Sum c
+    | "MIN", Some c -> Filter.Min c
+    | "MAX", Some c -> Filter.Max c
+    | ("SUM" | "MIN" | "MAX"), None ->
+      raise (Parser.Error (agg_name ^ " requires a column, not (*)"))
+    | other, _ ->
+      raise (Parser.Error (Printf.sprintf "unknown aggregate %s" other))
+  in
+  { Filter.agg; threshold }
+
+type program = {
+  views : Qf_datalog.Ast.rule list;
+  flock : Flock.t;
+}
+
+let parse_program_tokens st =
+  let views =
+    match Parser.peek st with
+    | Lexer.Views_kw ->
+      ignore (Parser.next st);
+      Parser.rules st
+    | _ -> []
+  in
+  Parser.expect st Lexer.Query_kw;
+  let rules = Parser.rules st in
+  Parser.expect st Lexer.Filter_kw;
+  let head_pred = (List.hd rules).Qf_datalog.Ast.head.pred in
+  let filter = parse_agg st head_pred in
+  (match Parser.peek st with
+  | Lexer.Eof -> ()
+  | tok ->
+    raise
+      (Parser.Error
+         (Format.asprintf "trailing input after filter: %a" Lexer.pp_token tok)));
+  views, rules, filter
+
+let check_view_rule (r : Qf_datalog.Ast.rule) =
+  let ( let* ) = Result.bind in
+  let* () = Qf_datalog.Safety.check r in
+  if Qf_datalog.Ast.rule_params r = [] then Ok ()
+  else
+    Error
+      (Printf.sprintf "view %s: views may not mention parameters"
+         r.head.pred)
+
+let program text =
+  match
+    let st = Parser.of_string text in
+    let views, rules, filter = parse_program_tokens st in
+    Result.bind
+      (List.fold_left
+         (fun acc r -> Result.bind acc (fun () -> check_view_rule r))
+         (Ok ()) views)
+      (fun () ->
+        Result.map (fun flock -> { views; flock }) (Flock.make rules filter))
+  with
+  | result -> result
+  | exception Parser.Error msg -> Error msg
+
+let flock text =
+  Result.bind (program text) (fun p ->
+      if p.views = [] then Ok p.flock
+      else Error "program has a VIEWS: section; use Parse.program")
+
+let flock_exn text =
+  match flock text with
+  | Ok f -> f
+  | Error msg -> invalid_arg ("Parse.flock: " ^ msg)
+
+let program_exn text =
+  match program text with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Parse.program: " ^ msg)

@@ -1,0 +1,52 @@
+(** Parser for complete flock programs in the paper's notation:
+
+    {v
+    QUERY:
+
+    answer(B) :-
+        baskets(B,$1) AND
+        baskets(B,$2) AND
+        $1 < $2
+
+    FILTER:
+
+    COUNT(answer.B) >= 20
+    v}
+
+    The filter line is [AGG(head.Column) >= n] or [AGG(head(star)) >= n] (star written `*`) with
+    [AGG] one of [COUNT]/[SUM]/[MIN]/[MAX].  [COUNT(head.X)] is normalized
+    to a distinct-tuple count — under set semantics counting a head column
+    of the answer equals counting answer tuples when the head has one
+    column, which is how the paper uses it. *)
+
+(** Parse a flock program.  Errors include lexing, parsing, and the
+    semantic checks of {!Flock.make}. *)
+val flock : string -> (Flock.t, string) result
+
+(** Raises [Invalid_argument] on error; convenient for tests/examples. *)
+val flock_exn : string -> Flock.t
+
+(** A program may start with an optional [VIEWS:] section defining
+    intermediate predicates (see {!Views}), evaluated before the flock:
+
+    {v
+    VIEWS:
+    explained(P,S) :- diagnoses(P,D) AND causes(D,S)
+
+    QUERY:
+    answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND NOT explained(P,$s)
+
+    FILTER:
+    COUNT(answer.P) >= 20
+    v} *)
+type program = {
+  views : Qf_datalog.Ast.rule list;  (** empty when there is no VIEWS: section *)
+  flock : Flock.t;
+}
+
+(** Parse a full program.  View rules are checked for safety and absence of
+    parameters here; the catalog-dependent checks (shadowing, recursion)
+    happen in {!Views.materialize}. *)
+val program : string -> (program, string) result
+
+val program_exn : string -> program

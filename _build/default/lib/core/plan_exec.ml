@@ -1,0 +1,193 @@
+module Ast = Qf_datalog.Ast
+module Eval = Qf_datalog.Eval
+module Catalog = Qf_relational.Catalog
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Aggregate = Qf_relational.Aggregate
+module Join = Qf_relational.Join
+
+let log_src = Logs.Src.create "qf.plan" ~doc:"FILTER-step plan execution"
+
+module Log = (val Logs.src_log log_src)
+
+type step_report = {
+  step_name : string;
+  tabulated_rows : int;
+  groups : int;
+  survivors : int;
+}
+
+type report = {
+  result : Qf_relational.Relation.t;
+  steps : step_report list;
+}
+
+type options = {
+  semijoin_reduction : bool;
+  symmetric_reuse : bool;
+}
+
+let default_options = { semijoin_reduction = true; symmetric_reuse = true }
+
+(* Semijoin reduction — the rewrite the paper's Sec. 1.3 measured: "first
+   find those items that appeared in at least 20 baskets ... and then join
+   the set of these items with the baskets relation before performing the
+   query".  For every unary ok-subgoal [ok($p)] in a rule, each base
+   subgoal with [$p] in some argument position is replaced by the
+   materialized semijoin of its relation with [ok] on that column.  The
+   binding-passing evaluator prunes the first parameter it binds for free,
+   but later extensions scan unreduced posting lists; materializing the
+   reduction is what yields the multiplicative (per-parameter) savings.
+   Reductions are memoized across rules and steps of one plan execution. *)
+let reduce_rule work ~step_names ~canon ~cache (r : Ast.rule) =
+  let unary_oks =
+    List.filter_map
+      (function
+        | Ast.Pos { Ast.pred; args = [ Ast.Param p ] }
+          when List.mem pred step_names ->
+          Some (p, pred)
+        | _ -> None)
+      r.body
+  in
+  if unary_oks = [] then r
+  else begin
+    let reduce_atom (a : Ast.atom) =
+      if List.mem a.pred step_names then a
+      else begin
+        let pred = ref a.pred in
+        List.iteri
+          (fun i arg ->
+            match arg with
+            | Ast.Param p -> (
+              match List.assoc_opt p unary_oks with
+              | None -> ()
+              | Some ok_name ->
+                let canonical_ok =
+                  match Hashtbl.find_opt canon ok_name with
+                  | Some c -> c
+                  | None -> ok_name
+                in
+                let reduced_name =
+                  Printf.sprintf "%s~%d~%s" !pred i canonical_ok
+                in
+                (match Hashtbl.find_opt cache reduced_name with
+                | Some () -> ()
+                | None ->
+                  let base = Catalog.find work !pred in
+                  let ok = Catalog.find work canonical_ok in
+                  let col =
+                    List.nth (Schema.columns (Relation.schema base)) i
+                  in
+                  let ok_col =
+                    List.hd (Schema.columns (Relation.schema ok))
+                  in
+                  Catalog.add work reduced_name
+                    (Join.semi base ok [ col, ok_col ]);
+                  Hashtbl.replace cache reduced_name ());
+                pred := reduced_name)
+            | Ast.Var _ | Ast.Const _ -> ())
+          a.args;
+        { a with Ast.pred = !pred }
+      end
+    in
+    let body =
+      List.map
+        (function
+          | Ast.Pos a -> Ast.Pos (reduce_atom a)
+          | (Ast.Neg _ | Ast.Cmp _) as lit -> lit)
+        r.body
+    in
+    { r with Ast.body }
+  end
+
+let run_step work ~options ~step_names ~canon ~cache (flock : Flock.t)
+    (s : Plan.step) =
+  let query =
+    if options.semijoin_reduction then
+      List.map (reduce_rule work ~step_names ~canon ~cache) s.query
+    else s.query
+  in
+  let tab = Eval.tabulate_query work query in
+  let keys = List.map (fun p -> "$" ^ p) s.params in
+  let func =
+    Filter.to_aggregate flock.filter
+      ~head_columns:(Eval.head_columns (List.hd s.query))
+  in
+  let groups = Relation.cardinal (Relation.project tab keys) in
+  let survivors =
+    Aggregate.group_filter tab ~keys ~func
+      ~threshold:flock.filter.threshold
+  in
+  Catalog.add work s.name survivors;
+  Log.debug (fun m ->
+      m "step %s: %d rows -> %d groups -> %d survive" s.name
+        (Relation.cardinal tab) groups (Relation.cardinal survivors));
+  ( survivors,
+    {
+      step_name = s.name;
+      tabulated_rows = Relation.cardinal tab;
+      groups;
+      survivors = Relation.cardinal survivors;
+    } )
+
+(* Symmetric-step reuse (paper Ex. 3.1: "by symmetry, the set of $1's that
+   survive ... is exactly the same as the set of $2's"): when a step's query
+   equals an earlier step's query up to renaming its (sorted) parameters,
+   register the earlier result under the new name instead of recomputing.
+   The sorted-positional bijection matches the result relation's column
+   order, so the aliased relation is exactly the step's output. *)
+let find_symmetric_twin earlier (s : Plan.step) =
+  List.find_opt
+    (fun (e : Plan.step) ->
+      List.length e.params = List.length s.params
+      && List.length e.query = List.length s.query
+      &&
+      let mapping = List.combine e.params s.params in
+      List.for_all2
+        (fun er sr -> Ast.equal_rule (Ast.rename_params mapping er) sr)
+        e.query s.query)
+    earlier
+
+let run_with_report ?(options = default_options) catalog (plan : Plan.t) =
+  let work = Catalog.copy catalog in
+  let cache = Hashtbl.create 8 in
+  let canon : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let _, reports =
+    List.fold_left
+      (fun ((executed, defined), acc) (s : Plan.step) ->
+        match
+          if options.symmetric_reuse then find_symmetric_twin executed s
+          else None
+        with
+        | Some twin ->
+          let rel = Catalog.find work twin.Plan.name in
+          Catalog.add work s.name rel;
+          Hashtbl.replace canon s.name
+            (match Hashtbl.find_opt canon twin.Plan.name with
+            | Some c -> c
+            | None -> twin.Plan.name);
+          let report =
+            {
+              step_name = s.name ^ " (= " ^ twin.Plan.name ^ " by symmetry)";
+              tabulated_rows = 0;
+              groups = Relation.cardinal rel;
+              survivors = Relation.cardinal rel;
+            }
+          in
+          (s :: executed, s.name :: defined), report :: acc
+        | None ->
+          let _, report =
+            run_step work ~options ~step_names:defined ~canon ~cache plan.flock
+              s
+          in
+          (s :: executed, s.name :: defined), report :: acc)
+      (([], []), [])
+      plan.steps
+  in
+  let step_names = List.map (fun (s : Plan.step) -> s.Plan.name) plan.steps in
+  let result, final_report =
+    run_step work ~options ~step_names ~canon ~cache plan.flock plan.final
+  in
+  { result; steps = List.rev reports @ [ final_report ] }
+
+let run ?options catalog plan = (run_with_report ?options catalog plan).result

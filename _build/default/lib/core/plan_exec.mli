@@ -1,0 +1,47 @@
+(** Execution of FILTER-step plans.
+
+    Steps run in order against a working copy of the catalog: each step
+    tabulates its query (parameters as grouping variables), applies the
+    flock's filter per parameter group, and registers the surviving
+    parameter tuples as a new stored relation, which later steps join as an
+    ordinary subgoal.  The final step's output is the flock's result.
+
+    Because every auxiliary step's query upper-bounds the flock's query
+    (subset of subgoals, Sec. 3) and the filter is monotone, the plan's
+    result equals {!Direct.run} — tested as a core invariant. *)
+
+type step_report = {
+  step_name : string;
+  tabulated_rows : int;  (** rows produced before grouping *)
+  groups : int;  (** distinct parameter assignments seen *)
+  survivors : int;  (** assignments passing the filter *)
+}
+
+type report = {
+  result : Qf_relational.Relation.t;
+  steps : step_report list;  (** in execution order, final step last *)
+}
+
+(** Executor optimizations, exposed so the benchmarks can ablate them.
+
+    - [semijoin_reduction] materializes the semijoin of each base relation
+      with the unary [ok] relations restricting its parameters before the
+      joins — the rewrite behind the paper's Sec. 1.3 speedup;
+    - [symmetric_reuse] computes a filter step once when it equals an
+      earlier step up to parameter renaming (the Ex. 3.1 remark). *)
+type options = {
+  semijoin_reduction : bool;
+  symmetric_reuse : bool;
+}
+
+(** Both enabled. *)
+val default_options : options
+
+(** Run a plan.  The input catalog is not modified. *)
+val run :
+  ?options:options -> Qf_relational.Catalog.t -> Plan.t -> Qf_relational.Relation.t
+
+(** Like {!run} but also reports per-step sizes (for benchmarks and the
+    optimizer's calibration). *)
+val run_with_report :
+  ?options:options -> Qf_relational.Catalog.t -> Plan.t -> report

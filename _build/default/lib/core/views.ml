@@ -1,0 +1,6 @@
+(* Views are exactly parameter-free stratified Datalog programs; the heavy
+   lifting (stratification, semi-naive fixpoint) lives in
+   {!Qf_datalog.Fixpoint}. *)
+
+let check = Qf_datalog.Fixpoint.check
+let materialize = Qf_datalog.Fixpoint.materialize

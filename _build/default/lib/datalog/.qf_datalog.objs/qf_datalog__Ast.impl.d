@@ -1,0 +1,1 @@
+lib/datalog/ast.ml: Hashtbl List Printf Qf_relational Result String

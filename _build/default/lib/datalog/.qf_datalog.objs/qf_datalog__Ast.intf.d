@@ -1,0 +1,1 @@
+lib/datalog/ast.mli: Qf_relational

@@ -1,0 +1,1 @@
+lib/datalog/containment.ml: Ast List Option Qf_relational Safety String

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Array Ast Format Hashtbl List Logs Option Pretty Printf Qf_relational Safety String

@@ -1,0 +1,1 @@
+lib/datalog/fixpoint.ml: Ast Eval Format Hashtbl List Qf_relational Result Safety String

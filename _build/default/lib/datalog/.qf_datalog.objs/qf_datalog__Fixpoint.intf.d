@@ -1,0 +1,1 @@
+lib/datalog/fixpoint.mli: Ast Qf_relational

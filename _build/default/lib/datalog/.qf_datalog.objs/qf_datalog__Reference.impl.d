@@ -1,0 +1,1 @@
+lib/datalog/reference.ml: Array Ast Eval Hashtbl List Printf Qf_relational Safety String

@@ -1,0 +1,1 @@
+lib/datalog/reference.mli: Ast Qf_relational

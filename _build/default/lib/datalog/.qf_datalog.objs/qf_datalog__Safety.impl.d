@@ -1,0 +1,1 @@
+lib/datalog/safety.ml: Ast List Printf Result String

@@ -1,0 +1,1 @@
+lib/datalog/safety.mli: Ast

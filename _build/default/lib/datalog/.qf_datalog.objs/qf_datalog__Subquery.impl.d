@@ -1,0 +1,1 @@
+lib/datalog/subquery.ml: Ast List Printf Safety String

@@ -1,0 +1,1 @@
+lib/datalog/subquery.mli: Ast

@@ -1,0 +1,107 @@
+(* A candidate mapping binds each variable of the containing query [sup] to a
+   term of the contained query [sub].  Constants and parameters are rigid. *)
+type mapping = (string * Ast.term) list
+
+let unify_term (m : mapping) (t_sup : Ast.term) (t_sub : Ast.term) :
+    mapping option =
+  match t_sup with
+  | Ast.Const c -> (
+    match t_sub with
+    | Ast.Const c' when Qf_relational.Value.equal c c' -> Some m
+    | _ -> None)
+  | Ast.Param p -> (
+    match t_sub with Ast.Param p' when String.equal p p' -> Some m | _ -> None)
+  | Ast.Var v -> (
+    match List.assoc_opt v m with
+    | Some bound -> if Ast.equal_term bound t_sub then Some m else None
+    | None -> Some ((v, t_sub) :: m))
+
+let unify_args m args_sup args_sub =
+  if List.length args_sup <> List.length args_sub then None
+  else
+    List.fold_left2
+      (fun acc a b -> Option.bind acc (fun m -> unify_term m a b))
+      (Some m) args_sup args_sub
+
+let unify_atom m (a_sup : Ast.atom) (a_sub : Ast.atom) =
+  if String.equal a_sup.pred a_sub.pred then unify_args m a_sup.args a_sub.args
+  else None
+
+let apply_mapping (m : mapping) (t : Ast.term) =
+  match t with
+  | Ast.Var v -> ( match List.assoc_opt v m with Some t' -> t' | None -> t)
+  | Ast.Param _ | Ast.Const _ -> t
+
+let apply_to_atom m (a : Ast.atom) =
+  { a with Ast.args = List.map (apply_mapping m) a.args }
+
+let apply_to_literal m = function
+  | Ast.Pos a -> Ast.Pos (apply_to_atom m a)
+  | Ast.Neg a -> Ast.Neg (apply_to_atom m a)
+  | Ast.Cmp (l, c, r) -> Ast.Cmp (apply_mapping m l, c, apply_mapping m r)
+
+let nonpositive_literals (r : Ast.rule) =
+  List.filter
+    (function Ast.Pos _ -> false | Ast.Neg _ | Ast.Cmp _ -> true)
+    r.body
+
+(* Depth-first search over assignments of sup's positive subgoals to sub's
+   positive subgoals.  [accept] filters complete mappings (used to impose
+   the negation/arithmetic side-condition). *)
+let search ~(sup : Ast.rule) ~(sub : Ast.rule) ~(accept : mapping -> bool) =
+  let sub_atoms = Ast.positive_atoms sub in
+  let rec assign m = function
+    | [] -> accept m
+    | atom :: rest ->
+      List.exists
+        (fun cand ->
+          match unify_atom m atom cand with
+          | Some m' -> assign m' rest
+          | None -> false)
+        sub_atoms
+  in
+  match unify_atom [] sup.head sub.head with
+  | None -> false
+  | Some m0 -> assign m0 (Ast.positive_atoms sup)
+
+let positive_contains ~sup ~sub = search ~sup ~sub ~accept:(fun _ -> true)
+
+let contains ~sup ~sub =
+  let sub_extras = nonpositive_literals sub in
+  let accept m =
+    List.for_all
+      (fun lit ->
+        let image = apply_to_literal m lit in
+        List.exists (Ast.equal_literal image) sub_extras)
+      (nonpositive_literals sup)
+  in
+  search ~sup ~sub ~accept
+
+let equivalent q1 q2 =
+  positive_contains ~sup:q1 ~sub:q2 && positive_contains ~sup:q2 ~sub:q1
+
+let minimize (r : Ast.rule) =
+  (* Try deleting each positive subgoal in turn; restart after a success so
+     interactions between redundant subgoals are handled. *)
+  let try_delete (current : Ast.rule) i =
+    let body = List.filteri (fun j _ -> j <> i) current.body in
+    let candidate = { current with body } in
+    if Safety.is_safe candidate && contains ~sup:current ~sub:candidate then
+      Some candidate
+    else None
+  in
+  let rec shrink current =
+    let n = List.length current.Ast.body in
+    let rec attempt i =
+      if i >= n then current
+      else
+        match List.nth current.Ast.body i with
+        | Ast.Pos _ -> (
+          match try_delete current i with
+          | Some smaller -> shrink smaller
+          | None -> attempt (i + 1))
+        | Ast.Neg _ | Ast.Cmp _ -> attempt (i + 1)
+    in
+    attempt 0
+  in
+  shrink r

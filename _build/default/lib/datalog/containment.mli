@@ -1,0 +1,40 @@
+(** Conjunctive-query containment via containment mappings
+    (Chandra–Merlin; paper Sec. 3.1).
+
+    [Q2 ⊆ Q1] (the answer of [Q2] is a subset of the answer of [Q1] on every
+    database) holds for positive conjunctive queries iff there is a
+    {e containment mapping} [h] from the variables of [Q1] to the terms of
+    [Q2] such that [h] is the identity on constants and parameters, maps the
+    head of [Q1] onto the head of [Q2], and maps every subgoal of [Q1] onto
+    some subgoal of [Q2].
+
+    Parameters are treated as distinguished constants: a flock's result
+    tuples are parameter assignments, so a mapping that renamed parameters
+    would not preserve the flock's meaning.
+
+    These functions consider only the positive, non-arithmetic subgoals of
+    the rules; {!contains} additionally requires (sufficient condition) that
+    the negated and arithmetic subgoals of [q1] are a subset (up to literal
+    equality) of those of [q2]. *)
+
+(** [positive_contains ~sup ~sub]: is there a containment mapping from [sup]
+    to [sub] over positive subgoals (ignoring negation/arithmetic in both)?
+    When both rules are positive CQs this decides [sub ⊆ sup]. *)
+val positive_contains : sup:Ast.rule -> sub:Ast.rule -> bool
+
+(** Sufficient test for [sub ⊆ sup] for extended CQs: a containment mapping
+    on the positive parts under which every negated and arithmetic subgoal
+    of [sup] maps to a negated/arithmetic subgoal of [sub]. *)
+val contains : sup:Ast.rule -> sub:Ast.rule -> bool
+
+(** Two positive CQs are equivalent iff they contain each other. *)
+val equivalent : Ast.rule -> Ast.rule -> bool
+
+(** Minimize a rule by deleting redundant positive subgoals: a subgoal is
+    dropped when the smaller rule is still safe and still contained in the
+    current rule (deletion always contains in the other direction), so the
+    result is equivalent to the input.  For pure positive CQs this computes
+    the Chandra–Merlin core; with negation/arithmetic the sufficient
+    {!contains} test makes it conservative (it may keep a removable
+    subgoal, never drop a needed one). *)
+val minimize : Ast.rule -> Ast.rule

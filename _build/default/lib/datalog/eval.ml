@@ -1,0 +1,409 @@
+module Value = Qf_relational.Value
+module Tuple = Qf_relational.Tuple
+module Schema = Qf_relational.Schema
+module Relation = Qf_relational.Relation
+module Index = Qf_relational.Index
+module Catalog = Qf_relational.Catalog
+module Statistics = Qf_relational.Statistics
+
+exception Error of string
+
+let log_src = Logs.Src.create "qf.eval" ~doc:"Datalog evaluation"
+
+module Log = (val Logs.src_log log_src)
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let relation_for catalog (a : Ast.atom) =
+  match Catalog.find_opt catalog a.pred with
+  | None -> errorf "unknown predicate %s" a.pred
+  | Some rel ->
+    if Relation.arity rel <> List.length a.args then
+      errorf "predicate %s: arity mismatch (query %d, stored %d)" a.pred
+        (List.length a.args) (Relation.arity rel);
+    rel
+
+module Envs = struct
+  (* [slots] maps a binding key to its column in every row; rows all have
+     width [List.length slots]. *)
+  type t = { slots : (string * int) list; rows : Value.t array list }
+
+  let start () = { slots = []; rows = [ [||] ] }
+  let bound_keys t = List.map fst t.slots
+  let count t = List.length t.rows
+
+  let slot_of t key = List.assoc_opt key t.slots
+
+  (* How each argument position of an atom is consumed given current slots:
+     part of the lookup key, a fresh binding, or an intra-tuple check
+     against a fresh binding made at an earlier position. *)
+  type arg_role =
+    | Key_const of Value.t
+    | Key_slot of int  (** row column *)
+    | Bind_new  (** first occurrence of an unbound key *)
+    | Check_new of int  (** later occurrence; index into the new-values list *)
+
+  let analyze_args t (a : Ast.atom) =
+    let fresh = ref [] in
+    let roles =
+      List.map
+        (fun arg ->
+          match arg with
+          | Ast.Const v -> Key_const v
+          | Ast.Var _ | Ast.Param _ -> (
+            let key = Ast.binding_key arg in
+            match slot_of t key with
+            | Some s -> Key_slot s
+            | None -> (
+              match
+                List.find_index (fun k -> String.equal k key) (List.rev !fresh)
+              with
+              | Some i -> Check_new i
+              | None ->
+                fresh := key :: !fresh;
+                Bind_new)))
+        a.args
+    in
+    roles, List.rev !fresh
+
+  let extend_pos catalog t (a : Ast.atom) =
+    let rel = relation_for catalog a in
+    let roles, fresh_keys = analyze_args t a in
+    let key_positions =
+      List.concat
+        (List.mapi
+           (fun i role ->
+             match role with
+             | Key_const _ | Key_slot _ -> [ i ]
+             | Bind_new | Check_new _ -> [])
+           roles)
+    in
+    let idx = Index.build rel key_positions in
+    let width = List.length t.slots in
+    let new_width = width + List.length fresh_keys in
+    let key_builders =
+      List.filter_map
+        (function
+          | Key_const v -> Some (fun (_ : Value.t array) -> v)
+          | Key_slot s -> Some (fun (row : Value.t array) -> row.(s))
+          | Bind_new | Check_new _ -> None)
+        roles
+    in
+    (* For each matching tuple: positions to copy into new slots, and
+       positions to check for intra-tuple repeated fresh variables. *)
+    let fills = ref [] and checks = ref [] in
+    List.iteri
+      (fun pos role ->
+        match role with
+        | Bind_new -> fills := pos :: !fills
+        | Check_new i -> checks := (pos, i) :: !checks
+        | Key_const _ | Key_slot _ -> ())
+      roles;
+    let fills = List.rev !fills and checks = List.rev !checks in
+    let rows =
+      List.concat_map
+        (fun row ->
+          let key = Tuple.of_list (List.map (fun f -> f row) key_builders) in
+          List.filter_map
+            (fun tup ->
+              let fresh_values = List.map (Array.get tup) fills in
+              let ok =
+                List.for_all
+                  (fun (pos, i) ->
+                    Value.equal tup.(pos) (List.nth fresh_values i))
+                  checks
+              in
+              if not ok then None
+              else begin
+                let row' = Array.make new_width (Value.Int 0) in
+                Array.blit row 0 row' 0 width;
+                List.iteri (fun i v -> row'.(width + i) <- v) fresh_values;
+                Some row'
+              end)
+            (Index.lookup idx key))
+        t.rows
+    in
+    let slots =
+      t.slots @ List.mapi (fun i key -> key, width + i) fresh_keys
+    in
+    { slots; rows }
+
+  let term_getter t = function
+    | Ast.Const v -> fun (_ : Value.t array) -> v
+    | (Ast.Var _ | Ast.Param _) as term -> (
+      let key = Ast.binding_key term in
+      match slot_of t key with
+      | Some s -> fun row -> row.(s)
+      | None -> errorf "unbound %s in non-positive subgoal" key)
+
+  let filter_neg catalog t (a : Ast.atom) =
+    let rel = relation_for catalog a in
+    let getters = List.map (term_getter t) a.args in
+    let rows =
+      List.filter
+        (fun row ->
+          let tup = Tuple.of_list (List.map (fun g -> g row) getters) in
+          not (Relation.mem rel tup))
+        t.rows
+    in
+    { t with rows }
+
+  let filter_cmp t left cmp right =
+    let gl = term_getter t left and gr = term_getter t right in
+    let rows =
+      List.filter
+        (fun row -> Ast.comparison_eval (Value.compare (gl row) (gr row)) cmp)
+        t.rows
+    in
+    { t with rows }
+
+  let key_positions t keys =
+    List.map
+      (fun key ->
+        match slot_of t key with
+        | Some s -> s
+        | None -> errorf "Envs.project: unbound key %s" key)
+      keys
+
+  let project t ~keys ~columns =
+    let positions = key_positions t keys in
+    let rel = Relation.create (Schema.of_list columns) in
+    List.iter
+      (fun row ->
+        Relation.add rel (Tuple.of_list (List.map (Array.get row) positions)))
+      t.rows;
+    rel
+
+  let semijoin t ~keys ~keep =
+    let positions = key_positions t keys in
+    let rows =
+      List.filter
+        (fun row ->
+          Relation.mem keep
+            (Tuple.of_list (List.map (Array.get row) positions)))
+        t.rows
+    in
+    { t with rows }
+end
+
+(* {1 Literal ordering} *)
+
+let literal_keys lit =
+  List.map (fun v -> v) (Ast.literal_vars lit)
+  @ List.map (fun p -> "$" ^ p) (Ast.literal_params lit)
+
+let atom_keys (a : Ast.atom) =
+  List.filter_map
+    (function
+      | (Ast.Var _ | Ast.Param _) as t -> Some (Ast.binding_key t)
+      | Ast.Const _ -> None)
+    a.args
+
+(* Estimated number of index matches per environment for [atom] given the
+   bound-key set: |R| divided by the distinct counts of the columns at
+   bound (or constant) positions, assuming independence. *)
+let estimate_matches catalog bound (a : Ast.atom) =
+  let rel = relation_for catalog a in
+  let stats = Catalog.stats catalog a.pred in
+  let columns = Schema.columns (Relation.schema rel) in
+  let est = ref (float_of_int (Statistics.cardinality stats)) in
+  let bound_positions = ref 0 in
+  List.iteri
+    (fun i arg ->
+      let is_bound =
+        match arg with
+        | Ast.Const _ -> true
+        | Ast.Var _ | Ast.Param _ -> List.mem (Ast.binding_key arg) bound
+      in
+      if is_bound then begin
+        incr bound_positions;
+        let d = Statistics.distinct stats (List.nth columns i) in
+        est := !est /. float_of_int (max 1 d)
+      end)
+    a.args;
+  !est, !bound_positions
+
+let order_body catalog (r : Ast.rule) =
+  (match Safety.check r with
+  | Ok () -> ()
+  | Error e -> raise (Error e));
+  let rec loop bound remaining ordered =
+    if remaining = [] then List.rev ordered
+    else begin
+      (* First flush every Neg/Cmp whose keys are all bound. *)
+      let ready, rest =
+        List.partition
+          (fun lit ->
+            match lit with
+            | Ast.Pos _ -> false
+            | Ast.Neg _ | Ast.Cmp _ ->
+              List.for_all (fun k -> List.mem k bound) (literal_keys lit))
+          remaining
+      in
+      if ready <> [] then loop bound rest (List.rev_append ready ordered)
+      else begin
+        (* Pick the cheapest positive subgoal. *)
+        let candidates =
+          List.filter_map
+            (function Ast.Pos a -> Some a | Ast.Neg _ | Ast.Cmp _ -> None)
+            rest
+        in
+        match candidates with
+        | [] ->
+          errorf "order_body: non-positive subgoals with unbound variables"
+        | _ ->
+          let best =
+            List.fold_left
+              (fun acc a ->
+                let est, bp = estimate_matches catalog bound a in
+                match acc with
+                | None -> Some (a, est, bp)
+                | Some (_, best_est, best_bp) ->
+                  if est < best_est || (est = best_est && bp > best_bp) then
+                    Some (a, est, bp)
+                  else acc)
+              None candidates
+          in
+          let a, _, _ = Option.get best in
+          let rest' =
+            let removed = ref false in
+            List.filter
+              (fun lit ->
+                match lit with
+                | Ast.Pos a' when (not !removed) && Ast.equal_atom a' a ->
+                  removed := true;
+                  false
+                | _ -> true)
+              rest
+          in
+          loop
+            (List.sort_uniq String.compare (bound @ atom_keys a))
+            rest'
+            (Ast.Pos a :: ordered)
+      end
+    end
+  in
+  let ordered = loop [] r.body [] in
+  Log.debug (fun m ->
+      m "join order for %s: %s" r.head.pred
+        (String.concat " ; " (List.map Pretty.literal_to_string ordered)));
+  ordered
+
+(* {1 Whole-rule evaluation} *)
+
+let head_columns (r : Ast.rule) =
+  let base =
+    List.mapi
+      (fun i t ->
+        match t with
+        | Ast.Var v -> v
+        | Ast.Const _ -> Printf.sprintf "c%d" i
+        | Ast.Param p -> errorf "parameter $%s in head" p)
+      r.head.args
+  in
+  (* Disambiguate duplicates: B, B -> B, B_2. *)
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun name ->
+      let n =
+        match Hashtbl.find_opt seen name with Some n -> n + 1 | None -> 1
+      in
+      Hashtbl.replace seen name n;
+      if n = 1 then name else Printf.sprintf "%s_%d" name n)
+    base
+
+let run_body catalog (r : Ast.rule) =
+  let ordered = order_body catalog r in
+  List.fold_left
+    (fun envs lit ->
+      match lit with
+      | Ast.Pos a -> Envs.extend_pos catalog envs a
+      | Ast.Neg a -> Envs.filter_neg catalog envs a
+      | Ast.Cmp (l, c, rt) -> Envs.filter_cmp envs l c rt)
+    (Envs.start ()) ordered
+
+let head_keys (r : Ast.rule) =
+  List.map
+    (fun t ->
+      match t with
+      | Ast.Var _ -> `Key (Ast.binding_key t)
+      | Ast.Const v -> `Const v
+      | Ast.Param p -> errorf "parameter $%s in head" p)
+    r.head.args
+
+(* Project environments onto (group keys, head terms).  Head constants are
+   materialized directly. *)
+let project_with_consts envs ~group_keys ~group_columns (r : Ast.rule) =
+  let head = head_keys r in
+  let keys =
+    group_keys
+    @ List.filter_map (function `Key k -> Some k | `Const _ -> None) head
+  in
+  let columns =
+    group_columns
+    @ List.filteri
+        (fun i _ ->
+          match List.nth head i with `Key _ -> true | `Const _ -> false)
+        (head_columns r)
+  in
+  let narrow = Envs.project envs ~keys ~columns in
+  if List.for_all (function `Key _ -> true | `Const _ -> false) head then
+    narrow
+  else begin
+    (* Re-insert constant head columns in position. *)
+    let full_schema =
+      Schema.of_list (group_columns @ head_columns r)
+    in
+    let out = Relation.create full_schema in
+    let n_group = List.length group_columns in
+    Relation.iter
+      (fun tup ->
+        let rest = ref (Array.to_list tup |> List.filteri (fun i _ -> i >= n_group)) in
+        let prefix = Array.to_list tup |> List.filteri (fun i _ -> i < n_group) in
+        let head_vals =
+          List.map
+            (function
+              | `Const v -> v
+              | `Key _ -> (
+                match !rest with
+                | v :: tl ->
+                  rest := tl;
+                  v
+                | [] -> errorf "project_with_consts: internal arity error"))
+            head
+        in
+        Relation.add out (Tuple.of_list (prefix @ head_vals)))
+      narrow;
+    out
+  end
+
+let param_keys_and_columns (r : Ast.rule) =
+  let params = Ast.rule_params r in
+  List.map (fun p -> "$" ^ p) params, List.map (fun p -> "$" ^ p) params
+
+let tabulate catalog (r : Ast.rule) =
+  let envs = run_body catalog r in
+  let group_keys, group_columns = param_keys_and_columns r in
+  project_with_consts envs ~group_keys ~group_columns r
+
+let answers catalog ~bindings (r : Ast.rule) =
+  let r' = Ast.subst_rule bindings r in
+  (match Ast.rule_params r' with
+  | [] -> ()
+  | p :: _ -> errorf "answers: parameter $%s left unbound" p);
+  let envs = run_body catalog r' in
+  project_with_consts envs ~group_keys:[] ~group_columns:[] r'
+
+let tabulate_query catalog (q : Ast.query) =
+  (match Ast.wf_query q with Ok () -> () | Error e -> raise (Error e));
+  match q with
+  | [] -> assert false
+  | first :: rest ->
+    let acc = tabulate catalog first in
+    List.fold_left
+      (fun acc r ->
+        let next = tabulate catalog r in
+        (* Positional rename: arities agree by wf_query. *)
+        Relation.fold (fun tup () -> Relation.add acc tup) next ();
+        acc)
+      acc rest

@@ -1,0 +1,88 @@
+(** Evaluation of extended conjunctive queries against a catalog.
+
+    Evaluation is a binding-passing (sideways-information-passing) join: an
+    {e environment} binds variables and parameters (keyed as in
+    {!Ast.binding_key}) to values; a positive subgoal extends each
+    environment with the matching tuples of its stored relation, found
+    through a hash index on the already-bound argument positions; negated
+    and arithmetic subgoals filter environments once their terms are bound.
+
+    The incremental {!Envs} interface is exposed because the dynamic
+    query-flock executor (paper Sec. 4.4) interleaves these steps with
+    support-based pruning decisions of its own. *)
+
+exception Error of string
+
+(** {1 Environment sets} *)
+
+module Envs : sig
+  (** A set of environments sharing one bound-key set. *)
+  type t
+
+  (** The single empty environment (neutral element for joins). *)
+  val start : unit -> t
+
+  (** Keys currently bound, in binding order. *)
+  val bound_keys : t -> string list
+
+  (** Number of environments. *)
+  val count : t -> int
+
+  (** [extend_pos catalog envs atom] joins with the stored relation for
+      [atom].  Raises {!Error} on an unknown predicate or arity mismatch. *)
+  val extend_pos : Qf_relational.Catalog.t -> t -> Ast.atom -> t
+
+  (** [filter_neg catalog envs atom] keeps environments for which the
+      instantiated atom is {e not} in its relation.  All argument terms must
+      be bound (guaranteed if the rule is safe and positives ran first). *)
+  val filter_neg : Qf_relational.Catalog.t -> t -> Ast.atom -> t
+
+  (** Keep environments satisfying the arithmetic comparison. *)
+  val filter_cmp : t -> Ast.term -> Ast.comparison -> Ast.term -> t
+
+  (** [project envs ~keys ~columns] is the relation of distinct bindings of
+      [keys], with schema [columns].  Raises {!Error} on an unbound key. *)
+  val project : t -> keys:string list -> columns:string list -> Qf_relational.Relation.t
+
+  (** [semijoin envs ~keys ~keep] keeps environments whose [keys]-projection
+      is a tuple of [keep] — the pruning step of dynamic evaluation. *)
+  val semijoin : t -> keys:string list -> keep:Qf_relational.Relation.t -> t
+end
+
+(** {1 Literal ordering} *)
+
+(** Greedy cost-based ordering of a body: repeatedly emit every negated and
+    arithmetic subgoal whose terms are bound, then the positive subgoal with
+    the fewest estimated index matches (System-R-style, using catalog
+    statistics).  Raises {!Error} if the rule is unsafe. *)
+val order_body : Qf_relational.Catalog.t -> Ast.rule -> Ast.literal list
+
+(** {1 Whole-rule evaluation} *)
+
+(** Column names for a rule's head arguments: a [Var] contributes its name,
+    a constant contributes ["c<i>"]; duplicates are suffixed ["_2"], ... *)
+val head_columns : Ast.rule -> string list
+
+(** [tabulate catalog rule] treats parameters as free grouping variables and
+    returns the relation with schema [$p1; ...; $pk] (sorted parameter
+    names, each prefixed with [$]) followed by {!head_columns}, containing
+    the distinct (parameter values, head values) combinations derivable
+    from the body.  This is the building block of both direct flock
+    evaluation and FILTER steps.  Raises {!Error} on an unsafe rule. *)
+val tabulate : Qf_relational.Catalog.t -> Ast.rule -> Qf_relational.Relation.t
+
+(** [answers catalog ~bindings rule] evaluates the rule with all parameters
+    bound by [bindings] (keys as in {!Ast.binding_key}, e.g. ["$s"]) and
+    returns the head relation.  Raises {!Error} if a parameter is unbound
+    or the rule is unsafe. *)
+val answers :
+  Qf_relational.Catalog.t ->
+  bindings:(string * Qf_relational.Value.t) list ->
+  Ast.rule ->
+  Qf_relational.Relation.t
+
+(** [tabulate_query catalog query] evaluates a union: the set-union of each
+    rule's {!tabulate}, with all results renamed to the first rule's schema
+    (positionally).  Raises {!Error} if {!Ast.wf_query} fails. *)
+val tabulate_query :
+  Qf_relational.Catalog.t -> Ast.query -> Qf_relational.Relation.t

@@ -1,0 +1,36 @@
+(** Stratified, semi-naive evaluation of parameter-free Datalog programs.
+
+    This generalizes the paper's Sec. 2.3 intermediate-predicate extension
+    to {e recursive} intermediate predicates (transitive closure and
+    friends), which the flock machinery then queries like stored relations.
+
+    A program is a list of rules defining one or more head predicates (in
+    any order; rules may be mutually recursive).  Requirements, checked by
+    {!check}:
+
+    - every rule is safe and mentions no parameters;
+    - no head predicate shadows a stored relation;
+    - rules for one predicate agree on head arity;
+    - the program is {e stratified}: no negation through a recursive cycle
+      (a predicate may only be negated once fully computed).
+
+    Evaluation proceeds stratum by stratum (strongly connected components
+    of the dependency graph in topological order); each recursive stratum
+    runs the classic semi-naive fixpoint — per iteration, each rule is
+    differentiated on each in-stratum body atom, substituting the last
+    round's delta for that occurrence. *)
+
+type program = Ast.rule list
+
+val check : Qf_relational.Catalog.t -> program -> (unit, string) result
+
+(** Materialize every head predicate into a copy of the catalog (the input
+    is untouched).  Runs {!check} first. *)
+val materialize :
+  Qf_relational.Catalog.t ->
+  program ->
+  (Qf_relational.Catalog.t, string) result
+
+(** The stratification itself: head predicates grouped into strata in
+    evaluation order.  Exposed for diagnostics and tests. *)
+val strata : program -> (string list list, string) result

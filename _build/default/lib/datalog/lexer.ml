@@ -1,0 +1,176 @@
+type token =
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Implies
+  | And
+  | Not
+  | Query_kw
+  | Filter_kw
+  | Views_kw
+  | Cmp of Ast.comparison
+  | Lident of string
+  | Uident of string
+  | Param of string
+  | Int of int
+  | Real of float
+  | String of string
+  | Eof
+
+let pp_token ppf = function
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Dot -> Format.pp_print_string ppf "."
+  | Star -> Format.pp_print_string ppf "*"
+  | Implies -> Format.pp_print_string ppf ":-"
+  | And -> Format.pp_print_string ppf "AND"
+  | Not -> Format.pp_print_string ppf "NOT"
+  | Query_kw -> Format.pp_print_string ppf "QUERY:"
+  | Filter_kw -> Format.pp_print_string ppf "FILTER:"
+  | Views_kw -> Format.pp_print_string ppf "VIEWS:"
+  | Cmp c -> Format.pp_print_string ppf (Ast.comparison_to_string c)
+  | Lident s | Uident s -> Format.pp_print_string ppf s
+  | Param p -> Format.fprintf ppf "$%s" p
+  | Int i -> Format.pp_print_int ppf i
+  | Real f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Eof -> Format.pp_print_string ppf "<eof>"
+
+exception Error of string * int
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec ident_end i = if i < n && is_ident_char input.[i] then ident_end (i + 1) else i in
+  let number_end i =
+    let rec digits i = if i < n && is_digit input.[i] then digits (i + 1) else i in
+    let i = digits i in
+    if i < n && input.[i] = '.' && i + 1 < n && is_digit input.[i + 1] then
+      let i = digits (i + 1) in
+      if i < n && (input.[i] = 'e' || input.[i] = 'E') then
+        let j = if i + 1 < n && (input.[i + 1] = '+' || input.[i + 1] = '-') then i + 2 else i + 1 in
+        digits j, true
+      else i, true
+    else i, false
+  in
+  let rec string_end i buf =
+    if i >= n then raise (Error ("unterminated string literal", i))
+    else
+      match input.[i] with
+      | '"' -> i + 1
+      | '\\' when i + 1 < n ->
+        Buffer.add_char buf input.[i + 1];
+        string_end (i + 2) buf
+      | c ->
+        Buffer.add_char buf c;
+        string_end (i + 1) buf
+  in
+  let rec loop i =
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '%' -> loop (skip_line i)
+      | '/' when i + 1 < n && input.[i + 1] = '/' -> loop (skip_line i)
+      | '(' ->
+        emit Lparen;
+        loop (i + 1)
+      | ')' ->
+        emit Rparen;
+        loop (i + 1)
+      | ',' ->
+        emit Comma;
+        loop (i + 1)
+      | '*' ->
+        emit Star;
+        loop (i + 1)
+      | '.' ->
+        emit Dot;
+        loop (i + 1)
+      | ';' -> loop (i + 1)
+      | ':' when i + 1 < n && input.[i + 1] = '-' ->
+        emit Implies;
+        loop (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (Cmp Ast.Le);
+        loop (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+        emit (Cmp Ast.Ne);
+        loop (i + 2)
+      | '<' ->
+        emit (Cmp Ast.Lt);
+        loop (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (Cmp Ast.Ge);
+        loop (i + 2)
+      | '>' ->
+        emit (Cmp Ast.Gt);
+        loop (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (Cmp Ast.Ne);
+        loop (i + 2)
+      | '=' ->
+        emit (Cmp Ast.Eq);
+        loop (i + 1)
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let j = string_end (i + 1) buf in
+        emit (String (Buffer.contents buf));
+        loop j
+      | '$' ->
+        let j = ident_end (i + 1) in
+        if j = i + 1 then raise (Error ("empty parameter name after $", i));
+        emit (Param (String.sub input (i + 1) (j - i - 1)));
+        loop j
+      | '0' .. '9' ->
+        let j, is_real = number_end i in
+        let text = String.sub input i (j - i) in
+        if is_real then emit (Real (float_of_string text))
+        else emit (Int (int_of_string text));
+        loop j
+      | '-' when i + 1 < n && is_digit input.[i + 1] ->
+        let j, is_real = number_end (i + 1) in
+        let text = String.sub input i (j - i) in
+        if is_real then emit (Real (float_of_string text))
+        else emit (Int (int_of_string text));
+        loop j
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ident_end i in
+        let word = String.sub input i (j - i) in
+        let with_colon = j < n && input.[j] = ':' && (j + 1 >= n || input.[j + 1] <> '-') in
+        (match word, with_colon with
+        | "QUERY", true ->
+          emit Query_kw;
+          loop (j + 1)
+        | "FILTER", true ->
+          emit Filter_kw;
+          loop (j + 1)
+        | "VIEWS", true ->
+          emit Views_kw;
+          loop (j + 1)
+        | "AND", _ ->
+          emit And;
+          loop j
+        | "NOT", _ ->
+          emit Not;
+          loop j
+        | _ ->
+          (match word.[0] with
+          | 'A' .. 'Z' -> emit (Uident word)
+          | _ -> emit (Lident word));
+          loop j)
+      | c -> raise (Error (Printf.sprintf "illegal character %C" c, i))
+  in
+  loop 0;
+  List.rev !tokens

@@ -1,0 +1,36 @@
+(** Hand-written lexer for the flock surface language.
+
+    Token conventions follow the paper: predicates and bare string constants
+    are lowercase identifiers; variables are capitalized identifiers;
+    parameters are [$name] (also [$1], [$2] — digits allowed); [AND] and
+    [NOT] are keywords; [QUERY:] and [FILTER:] introduce the two sections of
+    a flock program.  Comments run from [%] or [//] to end of line. *)
+
+type token =
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Implies  (** [:-] *)
+  | And
+  | Not
+  | Query_kw  (** [QUERY:] *)
+  | Filter_kw  (** [FILTER:] *)
+  | Views_kw  (** [VIEWS:] *)
+  | Cmp of Ast.comparison
+  | Lident of string  (** lowercase identifier *)
+  | Uident of string  (** capitalized identifier *)
+  | Param of string  (** [$name], stored without the [$] *)
+  | Int of int
+  | Real of float
+  | String of string  (** double-quoted *)
+  | Eof
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Error of string * int  (** message, byte offset *)
+
+(** Tokenize an entire input.  The result always ends with [Eof].
+    Raises {!Error} on an illegal character or unterminated string. *)
+val tokenize : string -> token list

@@ -1,0 +1,133 @@
+module Value = Qf_relational.Value
+
+exception Error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let of_tokens tokens = { tokens = Array.of_list tokens; pos = 0 }
+
+let of_string text =
+  match Lexer.tokenize text with
+  | tokens -> of_tokens tokens
+  | exception Lexer.Error (msg, off) ->
+    raise (Error (Printf.sprintf "lex error at offset %d: %s" off msg))
+
+let peek st =
+  if st.pos < Array.length st.tokens then st.tokens.(st.pos) else Lexer.Eof
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1)
+  else Lexer.Eof
+
+let next st =
+  let tok = peek st in
+  if tok <> Lexer.Eof then st.pos <- st.pos + 1;
+  tok
+
+let fail st expected =
+  raise
+    (Error
+       (Format.asprintf "expected %s but found %a (token %d)" expected
+          Lexer.pp_token (peek st) st.pos))
+
+let expect st tok = if next st <> tok then fail st (Format.asprintf "%a" Lexer.pp_token tok)
+
+let term st =
+  match next st with
+  | Lexer.Uident v -> Ast.Var v
+  | Lexer.Param p -> Ast.Param p
+  | Lexer.Lident s -> Ast.Const (Value.Str s)
+  | Lexer.Int i -> Ast.Const (Value.Int i)
+  | Lexer.Real f -> Ast.Const (Value.Real f)
+  | Lexer.String s -> Ast.Const (Value.Str s)
+  | _ ->
+    st.pos <- st.pos - 1;
+    fail st "a term"
+
+let atom_args st =
+  expect st Lexer.Lparen;
+  let rec more acc =
+    let t = term st in
+    match next st with
+    | Lexer.Comma -> more (t :: acc)
+    | Lexer.Rparen -> List.rev (t :: acc)
+    | _ ->
+      st.pos <- st.pos - 1;
+      fail st "',' or ')'"
+  in
+  more []
+
+let atom st =
+  match next st with
+  | Lexer.Lident pred -> { Ast.pred; args = atom_args st }
+  | _ ->
+    st.pos <- st.pos - 1;
+    fail st "a predicate name"
+
+let literal st =
+  match peek st with
+  | Lexer.Not ->
+    ignore (next st);
+    Ast.Neg (atom st)
+  | Lexer.Lident _ when peek2 st = Lexer.Lparen -> Ast.Pos (atom st)
+  | _ -> (
+    let left = term st in
+    match next st with
+    | Lexer.Cmp c ->
+      let right = term st in
+      Ast.Cmp (left, c, right)
+    | _ ->
+      st.pos <- st.pos - 1;
+      fail st "a comparison operator")
+
+let rule st =
+  let head = atom st in
+  expect st Lexer.Implies;
+  let rec more acc =
+    let l = literal st in
+    match peek st with
+    | Lexer.And ->
+      ignore (next st);
+      more (l :: acc)
+    | _ -> List.rev (l :: acc)
+  in
+  { Ast.head; body = more [] }
+
+(* A new rule begins iff the cursor sits on `lident (` — a head atom.  The
+   following `:-` is then required by [rule]. *)
+let at_rule_start st =
+  match peek st, peek2 st with
+  | Lexer.Lident _, Lexer.Lparen -> true
+  | _ -> false
+
+let rules st =
+  let rec loop acc =
+    if at_rule_start st then loop (rule st :: acc) else List.rev acc
+  in
+  let parsed = loop [] in
+  if parsed = [] then fail st "at least one rule";
+  parsed
+
+let run_to_result f text =
+  match f (of_string text) with
+  | v -> Ok v
+  | exception Error msg -> Error msg
+
+let parse_rule text =
+  run_to_result
+    (fun st ->
+      let r = rule st in
+      if peek st <> Lexer.Eof then fail st "end of input";
+      r)
+    text
+
+let parse_query text =
+  Result.bind
+    (run_to_result
+       (fun st ->
+         let q = rules st in
+         if peek st <> Lexer.Eof then fail st "end of input";
+         q)
+       text)
+    (fun q ->
+      match Ast.wf_query q with Ok () -> Ok q | Error e -> Error e)

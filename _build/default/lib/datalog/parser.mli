@@ -1,0 +1,47 @@
+(** Recursive-descent parser for rules and unions of rules.
+
+    Grammar (paper syntax):
+    {v
+    query   ::= rule+
+    rule    ::= atom ":-" literal ("AND" literal)*
+    literal ::= "NOT" atom | atom | term cmpop term
+    atom    ::= lident "(" term ("," term)* ")"
+    term    ::= Uident | $param | lident | number | "string"
+    cmpop   ::= "<" | "<=" | ">" | ">=" | "=" | "!=" | "<>"
+    v}
+
+    Capitalized identifiers are variables, [$name] are parameters, lowercase
+    identifiers and literals are constants.  The stateful entry points are
+    exposed so the flock-program parser (in [qf_core]) can share the token
+    stream. *)
+
+exception Error of string
+
+(** Mutable cursor over a token list. *)
+type state
+
+val of_tokens : Lexer.token list -> state
+val of_string : string -> state
+
+(** Current token without consuming it. *)
+val peek : state -> Lexer.token
+
+(** Consume and return the current token. *)
+val next : state -> Lexer.token
+
+(** Consume the given token or raise {!Error}. *)
+val expect : state -> Lexer.token -> unit
+
+(** Parse one rule starting at the cursor. *)
+val rule : state -> Ast.rule
+
+(** Parse a maximal sequence of rules (a union): rules are recognized while
+    the cursor sits on a lowercase identifier followed by [( ... ) :-]. *)
+val rules : state -> Ast.rule list
+
+(** {1 Whole-string conveniences} *)
+
+val parse_rule : string -> (Ast.rule, string) result
+
+(** Parses a union of one or more rules and checks {!Ast.wf_query}. *)
+val parse_query : string -> (Ast.query, string) result

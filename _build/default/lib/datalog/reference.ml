@@ -1,0 +1,109 @@
+module Value = Qf_relational.Value
+module Tuple = Qf_relational.Tuple
+module Schema = Qf_relational.Schema
+module Relation = Qf_relational.Relation
+module Catalog = Qf_relational.Catalog
+
+let binding_keys (r : Ast.rule) =
+  let of_literal lit =
+    List.map (fun v -> v) (Ast.literal_vars lit)
+    @ List.map (fun p -> "$" ^ p) (Ast.literal_params lit)
+  in
+  List.sort_uniq String.compare
+    (List.concat_map of_literal r.body @ Ast.atom_vars r.head)
+
+let active_domain catalog (r : Ast.rule) =
+  let seen = Hashtbl.create 64 in
+  let values = ref [] in
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Pos a | Ast.Neg a ->
+        let rel = Catalog.find catalog a.Ast.pred in
+        Relation.iter
+          (fun tup ->
+            Array.iter
+              (fun v ->
+                let key = Value.hash v, Value.to_string v in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  values := v :: !values
+                end)
+              tup)
+          rel
+      | Ast.Cmp (l, _, rt) ->
+        (* Constants in comparisons also belong to the domain: a rule like
+           [X = 3] can bind X to 3 even if 3 is not stored. *)
+        List.iter
+          (function
+            | Ast.Const v ->
+              let key = Value.hash v, Value.to_string v in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                values := v :: !values
+              end
+            | Ast.Var _ | Ast.Param _ -> ())
+          [ l; rt ])
+    r.body;
+  !values
+
+let term_value env = function
+  | Ast.Const v -> v
+  | (Ast.Var _ | Ast.Param _) as t -> List.assoc (Ast.binding_key t) env
+
+let satisfies catalog env (lit : Ast.literal) =
+  match lit with
+  | Ast.Pos a ->
+    Relation.mem
+      (Catalog.find catalog a.pred)
+      (Tuple.of_list (List.map (term_value env) a.args))
+  | Ast.Neg a ->
+    not
+      (Relation.mem
+         (Catalog.find catalog a.pred)
+         (Tuple.of_list (List.map (term_value env) a.args)))
+  | Ast.Cmp (l, c, rt) ->
+    Ast.comparison_eval (Value.compare (term_value env l) (term_value env rt)) c
+
+let tabulate ?(max_assignments = 5_000_000) catalog (r : Ast.rule) =
+  (match Safety.check r with
+  | Ok () -> ()
+  | Error e -> raise (Eval.Error e));
+  List.iter
+    (fun lit ->
+      match lit with
+      | Ast.Pos a | Ast.Neg a ->
+        if not (Catalog.mem catalog a.Ast.pred) then
+          raise (Eval.Error (Printf.sprintf "unknown predicate %s" a.Ast.pred))
+      | Ast.Cmp _ -> ())
+    r.body;
+  let keys = binding_keys r in
+  let domain = active_domain catalog r in
+  let space =
+    List.fold_left
+      (fun acc _ -> acc * max 1 (List.length domain))
+      1 keys
+  in
+  if space > max_assignments then
+    invalid_arg
+      (Printf.sprintf "Reference.tabulate: %d assignments exceed the limit"
+         space);
+  let params = Ast.rule_params r in
+  let param_columns = List.map (fun p -> "$" ^ p) params in
+  let out =
+    Relation.create (Schema.of_list (param_columns @ Eval.head_columns r))
+  in
+  let rec assign env = function
+    | [] ->
+      if List.for_all (satisfies catalog env) r.body then begin
+        let row =
+          List.map (fun p -> List.assoc ("$" ^ p) env) params
+          @ List.map (term_value env) r.head.args
+        in
+        Relation.add out (Tuple.of_list row)
+      end
+    | key :: rest ->
+      List.iter (fun v -> assign ((key, v) :: env) rest) domain
+  in
+  assign [] keys;
+  out

@@ -1,0 +1,19 @@
+(** Brute-force reference evaluation.
+
+    [tabulate] enumerates every assignment of the rule's variables and
+    parameters over the {e active domain} (every value occurring in a
+    relation the rule references) and keeps the assignments satisfying all
+    body literals.  Exponential in the number of variables — it exists only
+    as the oracle that the real evaluator ({!Eval}) is property-tested
+    against, and mirrors the textbook semantics of safe Datalog rules
+    (safety guarantees answers outside the active domain are impossible). *)
+
+(** Same output schema as {!Eval.tabulate}: sorted [$param] columns followed
+    by {!Eval.head_columns}.  Raises [Invalid_argument] when the assignment
+    space exceeds [max_assignments] (default 5_000_000) and {!Eval.Error}
+    on unsafe rules or unknown predicates. *)
+val tabulate :
+  ?max_assignments:int ->
+  Qf_relational.Catalog.t ->
+  Ast.rule ->
+  Qf_relational.Relation.t

@@ -1,0 +1,65 @@
+type candidate = {
+  rule : Ast.rule;
+  kept : int list;
+  params : string list;
+}
+
+let subset_rule (r : Ast.rule) mask n =
+  let kept = ref [] in
+  let body = ref [] in
+  for i = n - 1 downto 0 do
+    if mask land (1 lsl i) <> 0 then begin
+      kept := i :: !kept;
+      body := List.nth r.body i :: !body
+    end
+  done;
+  { Ast.head = r.head; body = !body }, !kept
+
+let enumerate (r : Ast.rule) =
+  let n = List.length r.body in
+  if n > 20 then
+    invalid_arg
+      (Printf.sprintf "Subquery.enumerate: body too long (%d literals)" n);
+  let out = ref [] in
+  (* masks 1 .. 2^n - 2: nonempty proper subsets *)
+  for mask = (1 lsl n) - 2 downto 1 do
+    let rule, kept = subset_rule r mask n in
+    if Safety.is_safe rule then begin
+      let params = Ast.rule_params rule in
+      if params <> [] then out := { rule; kept; params } :: !out
+    end
+  done;
+  !out
+
+let for_params r params =
+  let wanted = List.sort_uniq String.compare params in
+  List.filter (fun c -> c.params = wanted) (enumerate r)
+
+let subset_ints a b = List.for_all (fun x -> List.mem x b) a
+
+let maximal_per_param_set r =
+  let all = enumerate r in
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' ->
+             c'.params = c.params
+             && c' != c
+             && subset_ints c.kept c'.kept
+             && List.length c'.kept > List.length c.kept)
+           all))
+    all
+
+let minimal_for_params r params =
+  let candidates = for_params r params in
+  let better a b =
+    let la = List.length a.kept and lb = List.length b.kept in
+    if la <> lb then la < lb else a.kept < b.kept
+  in
+  List.fold_left
+    (fun best c ->
+      match best with
+      | None -> Some c
+      | Some b -> if better c b then Some c else best)
+    None candidates

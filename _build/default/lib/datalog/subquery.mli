@@ -1,0 +1,35 @@
+(** Enumeration of candidate a-priori subqueries (paper Sec. 3.1–3.3).
+
+    The generalized a-priori optimization evaluates a cheaper query that
+    upper-bounds the flock's query and prunes parameter values below the
+    support threshold.  By the containment-mapping theorem it suffices to
+    consider {e subsets of the subgoals} of the original rule (no variable
+    splitting).  A candidate must be {e safe} (Sec. 3.3); deleting subgoals
+    from a rule only ever enlarges its answer, so every safe subset is a
+    sound upper bound. *)
+
+type candidate = {
+  rule : Ast.rule;  (** the subquery: original head, retained subgoals *)
+  kept : int list;  (** indices (into the original body) of retained literals *)
+  params : string list;  (** sorted parameter names the subquery restricts *)
+}
+
+(** All safe candidates obtained by deleting one or more subgoals (the
+    original rule itself is not included).  Candidates with an empty
+    parameter set are excluded (they cannot prune any parameter).
+    Enumeration is exponential in body size; raises [Invalid_argument] for
+    bodies longer than 20 literals. *)
+val enumerate : Ast.rule -> candidate list
+
+(** Candidates whose parameter set is exactly [params] (sorted or not). *)
+val for_params : Ast.rule -> string list -> candidate list
+
+(** The maximal candidates for each parameter set: among candidates with the
+    same parameter set, keep those whose kept-literal sets are not strictly
+    contained in another candidate's.  More subgoals = tighter bound, so
+    these dominate for pruning power (though not necessarily for cost). *)
+val maximal_per_param_set : Ast.rule -> candidate list
+
+(** A minimal candidate for [params]: fewest retained literals (tie-broken
+    by smaller index set), or [None] if no safe candidate exists. *)
+val minimal_for_params : Ast.rule -> string list -> candidate option

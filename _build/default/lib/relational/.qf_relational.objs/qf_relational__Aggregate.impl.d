@@ -1,0 +1,1 @@
+lib/relational/aggregate.ml: Array Format Index List Printf Relation Schema Value

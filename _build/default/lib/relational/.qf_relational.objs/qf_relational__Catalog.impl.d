@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Format Hashtbl List Printf Relation Schema Statistics String

@@ -1,0 +1,1 @@
+lib/relational/index.ml: List Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relational/join.ml: Index List Relation Schema Tuple

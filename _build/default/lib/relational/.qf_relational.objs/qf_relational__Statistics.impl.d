@@ -1,0 +1,1 @@
+lib/relational/statistics.ml: Array Format Hashtbl Int List Relation Schema Value

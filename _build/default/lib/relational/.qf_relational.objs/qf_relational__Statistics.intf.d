@@ -1,0 +1,1 @@
+lib/relational/statistics.mli: Format Relation

@@ -1,0 +1,62 @@
+type func =
+  | Count
+  | Sum of string
+  | Min of string
+  | Max of string
+
+let pp_func ppf = function
+  | Count -> Format.pp_print_string ppf "COUNT(*)"
+  | Sum c -> Format.fprintf ppf "SUM(%s)" c
+  | Min c -> Format.fprintf ppf "MIN(%s)" c
+  | Max c -> Format.fprintf ppf "MAX(%s)" c
+
+let numeric_exn context v =
+  match Value.to_float v with
+  | Some f -> f
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Aggregate.%s: non-numeric value %s" context
+         (Value.to_string v))
+
+let eval func schema tuples =
+  match tuples with
+  | [] -> invalid_arg "Aggregate.eval: empty group"
+  | first :: rest -> (
+    match func with
+    | Count -> Value.Real (float_of_int (List.length tuples))
+    | Sum col ->
+      let pos = Schema.position schema col in
+      let total =
+        List.fold_left
+          (fun acc tup -> acc +. numeric_exn "sum" tup.(pos))
+          0. tuples
+      in
+      Value.Real total
+    | Min col ->
+      let pos = Schema.position schema col in
+      List.fold_left
+        (fun acc tup -> if Value.compare tup.(pos) acc < 0 then tup.(pos) else acc)
+        first.(pos) rest
+    | Max col ->
+      let pos = Schema.position schema col in
+      List.fold_left
+        (fun acc tup -> if Value.compare tup.(pos) acc > 0 then tup.(pos) else acc)
+        first.(pos) rest)
+
+let group_by rel ~keys ~func =
+  let schema = Relation.schema rel in
+  let idx = Index.build_on rel keys in
+  let out = ref [] in
+  Index.iter_groups
+    (fun key tuples -> out := (key, eval func schema tuples) :: !out)
+    idx;
+  !out
+
+let group_filter rel ~keys ~func ~threshold =
+  let out = Relation.create (Schema.restrict (Relation.schema rel) keys) in
+  List.iter
+    (fun (key, v) ->
+      let x = numeric_exn "group_filter" v in
+      if x >= threshold then Relation.add out key)
+    (group_by rel ~keys ~func);
+  out

@@ -1,0 +1,48 @@
+type t = {
+  relations : (string, Relation.t) Hashtbl.t;
+  stats_cache : (string, Statistics.t) Hashtbl.t;
+}
+
+let create () =
+  { relations = Hashtbl.create 16; stats_cache = Hashtbl.create 16 }
+
+let add t name rel =
+  Hashtbl.replace t.relations name rel;
+  Hashtbl.remove t.stats_cache name
+
+let remove t name =
+  Hashtbl.remove t.relations name;
+  Hashtbl.remove t.stats_cache name
+
+let find_opt t name = Hashtbl.find_opt t.relations name
+
+let find t name =
+  match find_opt t name with
+  | Some rel -> rel
+  | None -> failwith (Printf.sprintf "Catalog.find: unknown relation %S" name)
+
+let mem t name = Hashtbl.mem t.relations name
+let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []
+
+let stats t name =
+  match Hashtbl.find_opt t.stats_cache name with
+  | Some s -> s
+  | None ->
+    let s = Statistics.of_relation (find t name) in
+    Hashtbl.replace t.stats_cache name s;
+    s
+
+let copy t =
+  {
+    relations = Hashtbl.copy t.relations;
+    stats_cache = Hashtbl.copy t.stats_cache;
+  }
+
+let pp ppf t =
+  let sorted = List.sort String.compare (names t) in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list (fun ppf name ->
+         Format.fprintf ppf "%s%a [%d tuples]" name Schema.pp
+           (Relation.schema (find t name))
+           (Relation.cardinal (find t name))))
+    sorted

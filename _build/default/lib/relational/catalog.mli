@@ -1,0 +1,34 @@
+(** A catalog maps predicate names to stored relations.
+
+    Datalog evaluation resolves every relational subgoal through a catalog.
+    Statistics are computed lazily per relation and cached; {!add} and
+    {!remove} invalidate the cached entry.  Mutating a relation *after*
+    adding it does not invalidate its cached statistics — re-[add] it. *)
+
+type t
+
+val create : unit -> t
+
+(** Register (or replace) a relation under a predicate name. *)
+val add : t -> string -> Relation.t -> unit
+
+val remove : t -> string -> unit
+
+(** Raises [Failure] with a helpful message if absent. *)
+val find : t -> string -> Relation.t
+
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+
+(** Names in an unspecified order. *)
+val names : t -> string list
+
+(** Cached statistics for a stored relation.  Raises [Not_found]. *)
+val stats : t -> string -> Statistics.t
+
+(** A shallow copy: the new catalog shares relations but registering in one
+    does not affect the other.  Plan execution uses this to add temporary
+    [ok] relations without polluting the base catalog. *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+(** Minimal CSV import/export for relations.
+
+    Format: first line is the header (column names), subsequent lines are
+    rows.  Fields are comma-separated; a field containing a comma, a double
+    quote or a newline is written double-quoted with embedded quotes doubled,
+    and such quoting is understood on input.  Field values are parsed with
+    {!Value.of_string} (integers, then floats, then strings). *)
+
+(** Raises [Failure] on malformed input. *)
+val parse_string : string -> Relation.t
+
+val to_string : Relation.t -> string
+
+(** Raises [Sys_error] on I/O failure, [Failure] on malformed input. *)
+val load : string -> Relation.t
+
+val save : string -> Relation.t -> unit

@@ -1,0 +1,22 @@
+type t = { positions : int list; groups : Tuple.t list Tuple.Table.t }
+
+let build rel positions =
+  let groups = Tuple.Table.create (max 16 (Relation.cardinal rel / 4)) in
+  Relation.iter
+    (fun tup ->
+      let key = Tuple.project positions tup in
+      let existing =
+        match Tuple.Table.find_opt groups key with Some l -> l | None -> []
+      in
+      Tuple.Table.replace groups key (tup :: existing))
+    rel;
+  { positions; groups }
+
+let build_on rel cols =
+  build rel (List.map (Schema.position (Relation.schema rel)) cols)
+
+let lookup t key =
+  match Tuple.Table.find_opt t.groups key with Some l -> l | None -> []
+
+let key_count t = Tuple.Table.length t.groups
+let iter_groups f t = Tuple.Table.iter f t.groups

@@ -1,0 +1,23 @@
+(** Hash indexes on a subset of a relation's columns.
+
+    An index maps a key (the tuple of values at the indexed positions) to the
+    list of tuples carrying that key.  Indexes are built eagerly and are not
+    maintained under later mutation of the source relation. *)
+
+type t
+
+(** [build rel positions] indexes [rel] on the columns at [positions]. *)
+val build : Relation.t -> int list -> t
+
+(** [build_on rel cols] indexes [rel] on the named columns. *)
+val build_on : Relation.t -> string list -> t
+
+(** Tuples whose indexed columns equal [key] (same order as the positions the
+    index was built on). *)
+val lookup : t -> Tuple.t -> Tuple.t list
+
+(** Number of distinct keys. *)
+val key_count : t -> int
+
+(** [iter_groups f idx] calls [f key tuples] for every distinct key. *)
+val iter_groups : (Tuple.t -> Tuple.t list -> unit) -> t -> unit

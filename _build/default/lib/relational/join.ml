@@ -1,0 +1,43 @@
+let positions_of_pairs a b pairs =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  ( List.map (fun (ca, _) -> Schema.position sa ca) pairs,
+    List.map (fun (_, cb) -> Schema.position sb cb) pairs )
+
+(* Output columns of [b] that are not join targets, renamed on collision
+   with a column of [a]. *)
+let residual_columns a b pairs =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let joined = List.map snd pairs in
+  Schema.columns sb
+  |> List.filter (fun c -> not (List.mem c joined))
+  |> List.map (fun c -> c, if Schema.mem sa c then c ^ "_2" else c)
+
+let equi a b pairs =
+  let pos_a, pos_b = positions_of_pairs a b pairs in
+  let residual = residual_columns a b pairs in
+  let sb = Relation.schema b in
+  let residual_pos = List.map (fun (c, _) -> Schema.position sb c) residual in
+  let out_schema =
+    Schema.of_list (Schema.columns (Relation.schema a) @ List.map snd residual)
+  in
+  let out = Relation.create out_schema in
+  let idx = Index.build b pos_b in
+  Relation.iter
+    (fun ta ->
+      let key = Tuple.project pos_a ta in
+      List.iter
+        (fun tb ->
+          Relation.add out (Tuple.append ta (Tuple.project residual_pos tb)))
+        (Index.lookup idx key))
+    a;
+  out
+
+let filter_by_presence ~keep_matching a b pairs =
+  let pos_a, pos_b = positions_of_pairs a b pairs in
+  let idx = Index.build b pos_b in
+  Relation.select a (fun ta ->
+      let found = Index.lookup idx (Tuple.project pos_a ta) <> [] in
+      if keep_matching then found else not found)
+
+let semi a b pairs = filter_by_presence ~keep_matching:true a b pairs
+let anti a b pairs = filter_by_presence ~keep_matching:false a b pairs

@@ -1,0 +1,20 @@
+(** Generic joins between relations.
+
+    The Datalog evaluator performs its own binding-passing joins; these
+    free-standing operators serve the relational layer's own users (tests,
+    the classic a-priori miner, CSV tooling) and the anti-join used to
+    implement negated subgoals. *)
+
+(** [equi a b pairs] is the equi-join of [a] and [b] on the column pairs
+    [(col_of_a, col_of_b)].  The result schema is [a]'s columns followed by
+    [b]'s columns that are not join targets; duplicate output names from [b]
+    are suffixed with ['_2].  An empty [pairs] yields the cross product. *)
+val equi : Relation.t -> Relation.t -> (string * string) list -> Relation.t
+
+(** [semi a b pairs] keeps the tuples of [a] that join with at least one
+    tuple of [b]. *)
+val semi : Relation.t -> Relation.t -> (string * string) list -> Relation.t
+
+(** [anti a b pairs] keeps the tuples of [a] that join with no tuple of [b]
+    — the evaluation of a negated subgoal. *)
+val anti : Relation.t -> Relation.t -> (string * string) list -> Relation.t

@@ -1,0 +1,76 @@
+type t = { schema : Schema.t; tuples : unit Tuple.Table.t }
+
+let create schema = { schema; tuples = Tuple.Table.create 64 }
+let schema t = t.schema
+let arity t = Schema.arity t.schema
+let cardinal t = Tuple.Table.length t.tuples
+let is_empty t = cardinal t = 0
+
+let add t tup =
+  if Tuple.arity tup <> arity t then
+    invalid_arg
+      (Printf.sprintf "Relation.add: arity mismatch (%d vs %d)"
+         (Tuple.arity tup) (arity t));
+  if not (Tuple.Table.mem t.tuples tup) then Tuple.Table.add t.tuples tup ()
+
+let mem t tup = Tuple.Table.mem t.tuples tup
+let iter f t = Tuple.Table.iter (fun tup () -> f tup) t.tuples
+let fold f t init = Tuple.Table.fold (fun tup () acc -> f tup acc) t.tuples init
+let to_list t = fold List.cons t []
+let to_sorted_list t = List.sort Tuple.compare (to_list t)
+
+let of_list schema tuples =
+  let rel = create schema in
+  List.iter (add rel) tuples;
+  rel
+
+let of_values columns rows =
+  of_list (Schema.of_list columns) (List.map Tuple.of_list rows)
+
+let project t cols =
+  let positions = List.map (Schema.position t.schema) cols in
+  let out = create (Schema.restrict t.schema cols) in
+  iter (fun tup -> add out (Tuple.project positions tup)) t;
+  out
+
+let select t pred =
+  let out = create t.schema in
+  iter (fun tup -> if pred tup then add out tup) t;
+  out
+
+let union a b =
+  if arity a <> arity b then invalid_arg "Relation.union: arity mismatch";
+  let out = create a.schema in
+  iter (add out) a;
+  iter (add out) b;
+  out
+
+let diff a b =
+  if arity a <> arity b then invalid_arg "Relation.diff: arity mismatch";
+  let out = create a.schema in
+  iter (fun tup -> if not (mem b tup) then add out tup) a;
+  out
+
+let column_values t col =
+  let pos = Schema.position t.schema col in
+  let seen = Hashtbl.create 64 in
+  fold
+    (fun tup acc ->
+      let v = tup.(pos) in
+      let key = Value.hash v, v in
+      if Hashtbl.mem seen key then acc
+      else begin
+        Hashtbl.add seen key ();
+        v :: acc
+      end)
+    t []
+
+let equal a b =
+  arity a = arity b
+  && cardinal a = cardinal b
+  && fold (fun tup ok -> ok && mem b tup) a true
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a: %d tuples@,%a@]" Schema.pp t.schema (cardinal t)
+    (Format.pp_print_list Tuple.pp)
+    (to_sorted_list t)

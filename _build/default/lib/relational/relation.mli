@@ -1,0 +1,55 @@
+(** Set-semantics relations.
+
+    A relation is a schema plus a set of tuples of matching arity.  Insertion
+    of a duplicate tuple is a no-op, so every relation is duplicate-free — a
+    requirement of the query-flocks formalism (the paper's claims fail under
+    bag semantics). *)
+
+type t
+
+(** An empty, mutable relation with the given schema. *)
+val create : Schema.t -> t
+
+val schema : t -> Schema.t
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [add rel tup] inserts [tup]; duplicates are ignored.  Raises
+    [Invalid_argument] on an arity mismatch. *)
+val add : t -> Tuple.t -> unit
+
+val mem : t -> Tuple.t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Tuples in an unspecified order. *)
+val to_list : t -> Tuple.t list
+
+(** Tuples sorted by {!Tuple.compare}; convenient for golden tests. *)
+val to_sorted_list : t -> Tuple.t list
+
+val of_list : Schema.t -> Tuple.t list -> t
+
+(** Convenience: build from lists of value lists. *)
+val of_values : string list -> Value.t list list -> t
+
+(** [project rel cols] projects (with duplicate elimination) onto [cols]. *)
+val project : t -> string list -> t
+
+(** [select rel pred] keeps tuples satisfying [pred]. *)
+val select : t -> (Tuple.t -> bool) -> t
+
+(** Set union; schemas must have equal arity (result keeps [a]'s schema). *)
+val union : t -> t -> t
+
+(** Set difference [a - b]; arities must match. *)
+val diff : t -> t -> t
+
+(** Distinct values appearing in a column. *)
+val column_values : t -> string -> Value.t list
+
+(** [equal a b] — same set of tuples (schemas must have equal arity). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

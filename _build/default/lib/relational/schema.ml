@@ -1,0 +1,44 @@
+type t = { columns : string array }
+
+let of_list columns =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem tbl c then
+        invalid_arg (Printf.sprintf "Schema.of_list: duplicate column %S" c);
+      Hashtbl.add tbl c ())
+    columns;
+  { columns = Array.of_list columns }
+
+let columns t = Array.to_list t.columns
+let arity t = Array.length t.columns
+
+let position_opt t col =
+  let rec loop i =
+    if i >= Array.length t.columns then None
+    else if String.equal t.columns.(i) col then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let position t col =
+  match position_opt t col with Some i -> i | None -> raise Not_found
+
+let mem t col = Option.is_some (position_opt t col)
+
+let equal a b =
+  Array.length a.columns = Array.length b.columns
+  && Array.for_all2 String.equal a.columns b.columns
+
+let restrict t cols =
+  List.iter (fun c -> ignore (position t c)) cols;
+  of_list cols
+
+let append a b = of_list (columns a @ columns b)
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    (columns t)

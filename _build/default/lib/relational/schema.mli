@@ -1,0 +1,28 @@
+(** Relation schemas: an ordered list of distinct column names. *)
+
+type t
+
+(** Raises [Invalid_argument] if names are not distinct. *)
+val of_list : string list -> t
+
+val columns : t -> string list
+val arity : t -> int
+
+(** [position schema col] is the index of [col].  Raises [Not_found]. *)
+val position : t -> string -> int
+
+(** [position_opt schema col] is the index of [col], if present. *)
+val position_opt : t -> string -> int option
+
+val mem : t -> string -> bool
+val equal : t -> t -> bool
+
+(** [restrict schema cols] is the sub-schema with exactly [cols] (in the
+    given order).  Raises [Not_found] if a column is absent. *)
+val restrict : t -> string list -> t
+
+(** [append a b] concatenates schemas.  Raises [Invalid_argument] on a
+    duplicate column name. *)
+val append : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

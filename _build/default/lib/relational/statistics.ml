@@ -1,0 +1,82 @@
+type column_stats = {
+  distinct : int;
+  frequencies : int array;  (** per-value tuple counts, descending *)
+}
+
+type t = {
+  cardinality : int;
+  columns : (string * column_stats) list;
+}
+
+let of_relation rel =
+  let schema = Relation.schema rel in
+  let arity = Schema.arity schema in
+  let tables = Array.init arity (fun _ -> Hashtbl.create 64) in
+  Relation.iter
+    (fun tup ->
+      Array.iteri
+        (fun i v ->
+          let table = tables.(i) in
+          let key = Value.hash v, v in
+          let n = match Hashtbl.find_opt table key with Some n -> n | None -> 0 in
+          Hashtbl.replace table key (n + 1))
+        tup)
+    rel;
+  let columns =
+    List.mapi
+      (fun i col ->
+        let table = tables.(i) in
+        let frequencies =
+          Hashtbl.fold (fun _ n acc -> n :: acc) table []
+          |> List.sort (fun a b -> Int.compare b a)
+          |> Array.of_list
+        in
+        col, { distinct = Hashtbl.length table; frequencies })
+      (Schema.columns schema)
+  in
+  { cardinality = Relation.cardinal rel; columns }
+
+let cardinality t = t.cardinality
+
+let column t col =
+  match List.assoc_opt col t.columns with
+  | Some c -> c
+  | None -> raise Not_found
+
+let distinct t col = (column t col).distinct
+
+let tuples_per_value t col =
+  let d = distinct t col in
+  if d = 0 then 0. else float_of_int t.cardinality /. float_of_int d
+
+let estimate_join a b pairs =
+  let base = float_of_int a.cardinality *. float_of_int b.cardinality in
+  List.fold_left
+    (fun acc (ca, cb) ->
+      let v = max (distinct a ca) (distinct b cb) in
+      if v = 0 then 0. else acc /. float_of_int v)
+    base pairs
+
+let eq_selectivity t col =
+  let d = distinct t col in
+  if d = 0 then 0. else 1. /. float_of_int d
+
+let count_at_least t col c =
+  let { frequencies; _ } = column t col in
+  (* frequencies are descending: binary search for the boundary. *)
+  let n = Array.length frequencies in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if frequencies.(mid) >= c then search (mid + 1) hi else search lo mid
+  in
+  search 0 n
+
+let frequencies t col = Array.copy (column t col).frequencies
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>|R| = %d@,%a@]" t.cardinality
+    (Format.pp_print_list (fun ppf (c, s) ->
+         Format.fprintf ppf "V(%s) = %d" c s.distinct))
+    t.columns

@@ -1,0 +1,44 @@
+(** Per-relation statistics for cost-based plan selection (System-R style).
+
+    The optimizer (Sec. 4.3 of the paper) needs relation cardinalities and
+    per-column distinct-value counts to estimate join sizes and the benefit
+    of a candidate FILTER step. *)
+
+type t
+
+(** Scan a relation and collect statistics. *)
+val of_relation : Relation.t -> t
+
+val cardinality : t -> int
+
+(** Distinct values in the named column.  Raises [Not_found] on an unknown
+    column. *)
+val distinct : t -> string -> int
+
+(** Average number of tuples per distinct value of the column:
+    [cardinality / distinct].  0 if the relation is empty. *)
+val tuples_per_value : t -> string -> float
+
+(** Estimated size of the equi-join [a ⋈ b] on the given column pairs
+    ([(col_of_a, col_of_b)]), using the standard independence assumption:
+    |a||b| / prod(max(V(a,ca), V(b,cb))).  With no join columns this is the
+    cross-product size. *)
+val estimate_join : t -> t -> (string * string) list -> float
+
+(** Estimated selectivity in [0,1] of an equality between a column and a
+    constant: 1 / V(col). *)
+val eq_selectivity : t -> string -> float
+
+(** [count_at_least t col c] — the exact number of distinct values of [col]
+    appearing in at least [c] tuples.  This is the survivor count of a
+    single-subgoal COUNT filter step, the "substantial gathering of
+    statistics to support the filter/don't filter decision" of the paper's
+    Ex. 4.4.  Computed from the per-value frequency distribution collected
+    at construction.  Raises [Not_found] on an unknown column. *)
+val count_at_least : t -> string -> int -> int
+
+(** The frequency distribution of a column: per-value tuple counts, sorted
+    descending.  Exposed for diagnostics and workload analysis. *)
+val frequencies : t -> string -> int array
+
+val pp : Format.formatter -> t -> unit

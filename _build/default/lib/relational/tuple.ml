@@ -1,0 +1,44 @@
+type t = Value.t array
+
+let arity = Array.length
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let c = Int.compare la lb in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i >= la then 0
+      else
+        let c = Value.compare a.(i) b.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i =
+    i >= Array.length a || (Value.equal a.(i) b.(i) && loop (i + 1))
+  in
+  loop 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+let project positions tup = Array.of_list (List.map (Array.get tup) positions)
+let append = Array.append
+let of_list = Array.of_list
+let to_list = Array.to_list
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_seq t)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,25 @@
+(** Tuples: immutable arrays of {!Value.t}.
+
+    Callers must not mutate a tuple after handing it to a {!Relation} or
+    {!Index}; the hash tables key on its contents. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** [project positions tup] extracts the values at [positions], in order.
+    Raises [Invalid_argument] if a position is out of range. *)
+val project : int list -> t -> t
+
+(** [append a b] concatenates two tuples. *)
+val append : t -> t -> t
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val pp : Format.formatter -> t -> unit
+
+(** Hash tables keyed by tuples. *)
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,41 @@
+(** Atomic values stored in relations.
+
+    A value is an integer, a string, or a real number.  Values of different
+    kinds never compare equal under {!equal} (set semantics distinguishes
+    [Int 1] from [Real 1.0]), but {!compare} still orders numeric values of
+    different kinds numerically so that arithmetic subgoals such as
+    [$x < 3.5] behave as a user expects. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Real of float
+
+(** Total order on values.  Within a kind the order is the natural one;
+    across kinds, [Int] and [Real] are ordered numerically (ties broken with
+    [Int] first) and every number precedes every string. *)
+val compare : t -> t -> int
+
+(** Structural equality: values of different kinds are never equal. *)
+val equal : t -> t -> bool
+
+(** Hash compatible with {!equal}. *)
+val hash : t -> int
+
+(** Numeric interpretation of a value, for SUM/MIN/MAX aggregates and
+    arithmetic comparisons.  Strings have no numeric interpretation. *)
+val to_float : t -> float option
+
+(** [is_numeric v] is [true] for [Int] and [Real] values. *)
+val is_numeric : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Render the value as it would appear in a Datalog program: strings are
+    quoted, numbers are printed plainly. *)
+val to_string : t -> string
+
+(** Parse a literal as it appears in source text or CSV: an integer, then a
+    float, then (fallback) a string.  Surrounding double quotes on a string
+    are stripped. *)
+val of_string : string -> t

@@ -1,0 +1,1 @@
+lib/sql/compile.ml: Format Hashtbl List Printf Qf_core Qf_datalog Qf_relational Result Sql_ast Sql_parser String

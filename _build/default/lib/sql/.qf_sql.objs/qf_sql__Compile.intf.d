@@ -1,0 +1,1 @@
+lib/sql/compile.mli: Qf_core Qf_relational Sql_ast

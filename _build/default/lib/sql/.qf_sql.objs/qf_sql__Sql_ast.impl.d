@@ -1,0 +1,1 @@
+lib/sql/sql_ast.ml: Format Qf_datalog Qf_relational String

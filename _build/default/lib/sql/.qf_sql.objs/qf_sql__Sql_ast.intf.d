@@ -1,0 +1,1 @@
+lib/sql/sql_ast.mli: Format Qf_datalog Qf_relational

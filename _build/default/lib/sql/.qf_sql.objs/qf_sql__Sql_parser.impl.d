@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Array Buffer Format List Qf_datalog Qf_relational Sql_ast String

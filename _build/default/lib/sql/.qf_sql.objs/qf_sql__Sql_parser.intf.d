@@ -1,0 +1,1 @@
+lib/sql/sql_parser.mli: Sql_ast

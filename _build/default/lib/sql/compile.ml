@@ -1,0 +1,229 @@
+module Ast = Qf_datalog.Ast
+module Value = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+
+let ( let* ) = Result.bind
+let error fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* Union-find over variable names, for WHERE equalities. *)
+module Uf = struct
+  let create () = Hashtbl.create 16
+
+  let rec find t x =
+    match Hashtbl.find_opt t x with
+    | None -> x
+    | Some p ->
+      let r = find t p in
+      Hashtbl.replace t x r;
+      r
+
+  let union t x y =
+    let rx = find t x and ry = find t y in
+    if not (String.equal rx ry) then Hashtbl.replace t rx ry
+end
+
+let var_name alias col = Printf.sprintf "V_%s_%s" alias col
+
+let compile catalog (q : Sql_ast.query) =
+  (* FROM: aliases must be distinct, tables known. *)
+  let* () =
+    let aliases = List.map snd q.from in
+    if List.length (List.sort_uniq String.compare aliases) = List.length aliases
+    then Ok ()
+    else Error "duplicate alias in FROM"
+  in
+  let* tables =
+    List.fold_left
+      (fun acc (table, alias) ->
+        let* items = acc in
+        match Catalog.find_opt catalog table with
+        | None -> error "unknown table %s" table
+        | Some rel ->
+          Ok ((alias, table, Schema.columns (Relation.schema rel)) :: items))
+      (Ok []) q.from
+  in
+  let tables = List.rev tables in
+  let resolve (c : Sql_ast.column) =
+    match List.find_opt (fun (a, _, _) -> String.equal a c.alias) tables with
+    | None -> error "unknown alias %s" c.alias
+    | Some (_, table, columns) ->
+      if List.mem c.column columns then Ok (var_name c.alias c.column)
+      else error "table %s has no column %s" table c.column
+  in
+  (* WHERE: equalities unify; constants bind; the rest become arithmetic
+     subgoals (expressed over representatives at the end). *)
+  let uf = Uf.create () in
+  let constants : (string, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  let* cmps =
+    List.fold_left
+      (fun acc (p : Sql_ast.predicate) ->
+        let* cmps = acc in
+        match p.op, p.left, p.right with
+        | Ast.Eq, Sql_ast.Col a, Sql_ast.Col b ->
+          let* va = resolve a in
+          let* vb = resolve b in
+          Uf.union uf va vb;
+          Ok cmps
+        | Ast.Eq, Sql_ast.Col a, Sql_ast.Lit v
+        | Ast.Eq, Sql_ast.Lit v, Sql_ast.Col a ->
+          let* va = resolve a in
+          Ok ((`Bind (va, v)) :: cmps)
+        | _, _, _ ->
+          let* left =
+            match p.left with
+            | Sql_ast.Col c -> Result.map (fun v -> `Var v) (resolve c)
+            | Sql_ast.Lit v -> Ok (`Lit v)
+          in
+          let* right =
+            match p.right with
+            | Sql_ast.Col c -> Result.map (fun v -> `Var v) (resolve c)
+            | Sql_ast.Lit v -> Ok (`Lit v)
+          in
+          Ok ((`Cmp (left, p.op, right)) :: cmps))
+      (Ok []) q.where
+  in
+  let cmps = List.rev cmps in
+  (* Apply constant bindings to representatives; detect contradictions. *)
+  let* () =
+    List.fold_left
+      (fun acc item ->
+        let* () = acc in
+        match item with
+        | `Bind (v, value) -> (
+          let r = Uf.find uf v in
+          match Hashtbl.find_opt constants r with
+          | Some existing when not (Value.equal existing value) ->
+            error "contradictory constants for %s" r
+          | _ ->
+            Hashtbl.replace constants r value;
+            Ok ())
+        | `Cmp _ -> Ok ())
+      (Ok ()) cmps
+  in
+  (* GROUP BY columns become parameters $1..$k. *)
+  let params : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let* () =
+    List.fold_left
+      (fun acc (i, col) ->
+        let* () = acc in
+        let* v = resolve col in
+        let r = Uf.find uf v in
+        if Hashtbl.mem constants r then
+          error "grouped column %s.%s is fixed by a constant" col.alias
+            col.column
+        else if Hashtbl.mem params r then
+          error "GROUP BY columns %s.%s duplicate an earlier grouped column"
+            col.alias col.column
+        else begin
+          Hashtbl.replace params r (string_of_int (i + 1));
+          Ok ()
+        end)
+      (Ok ())
+      (List.mapi (fun i c -> i, c) q.group_by)
+  in
+  (* SELECT must be the GROUP BY list (the flock's result is the parameter
+     assignment). *)
+  let* () =
+    if List.length q.select <> List.length q.group_by then
+      Error "SELECT list must equal the GROUP BY list"
+    else
+      List.fold_left
+        (fun acc (s, g) ->
+          let* () = acc in
+          let* vs = resolve s in
+          let* vg = resolve g in
+          if String.equal (Uf.find uf vs) (Uf.find uf vg) then Ok ()
+          else
+            error "SELECT %s.%s does not match GROUP BY %s.%s" s.alias s.column
+              g.alias g.column)
+        (Ok ())
+        (List.combine q.select q.group_by)
+  in
+  let term_of_var v =
+    let r = Uf.find uf v in
+    match Hashtbl.find_opt constants r with
+    | Some value -> Ast.Const value
+    | None -> (
+      match Hashtbl.find_opt params r with
+      | Some p -> Ast.Param p
+      | None -> Ast.Var r)
+  in
+  (* HAVING.  COUNT(c) counts the distinct values of c per group (the
+     paper's reading of Fig. 1: support = number of baskets).  SUM/MIN/MAX
+     aggregate over the distinct joined rows, so the head must carry every
+     variable of the query — under set semantics the distinct full bindings
+     are exactly the join's rows, mirroring Fig. 10's answer(B,W). *)
+  let agg_column =
+    match q.having.agg with
+    | Sql_ast.Count c | Sql_ast.Sum c | Sql_ast.Min c | Sql_ast.Max c -> c
+  in
+  let* head_var = resolve agg_column in
+  let* agg_term =
+    match term_of_var head_var with
+    | Ast.Var _ as t -> Ok t
+    | Ast.Param _ ->
+      error "HAVING aggregates grouped column %s.%s" agg_column.alias
+        agg_column.column
+    | Ast.Const _ -> error "HAVING aggregates a column fixed to a constant"
+  in
+  let agg_var = match agg_term with Ast.Var v -> v | _ -> assert false in
+  let all_row_vars =
+    (* Every representative variable of the query, agg column first so its
+       head-column name is just the variable name. *)
+    let rest =
+      List.concat_map
+        (fun (alias, _, columns) ->
+          List.filter_map
+            (fun c ->
+              match term_of_var (var_name alias c) with
+              | Ast.Var v when not (String.equal v agg_var) -> Some v
+              | Ast.Var _ | Ast.Param _ | Ast.Const _ -> None)
+            columns)
+        tables
+      |> List.sort_uniq String.compare
+    in
+    agg_var :: rest
+  in
+  let head_args, filter_agg =
+    match q.having.agg with
+    | Sql_ast.Count _ -> [ agg_term ], Qf_core.Filter.Count
+    | Sql_ast.Sum _ ->
+      List.map (fun v -> Ast.Var v) all_row_vars, Qf_core.Filter.Sum agg_var
+    | Sql_ast.Min _ -> [ agg_term ], Qf_core.Filter.Min agg_var
+    | Sql_ast.Max _ -> [ agg_term ], Qf_core.Filter.Max agg_var
+  in
+  (* Assemble the rule. *)
+  let atoms =
+    List.map
+      (fun (alias, table, columns) ->
+        Ast.Pos
+          {
+            Ast.pred = table;
+            args = List.map (fun c -> term_of_var (var_name alias c)) columns;
+          })
+      tables
+  in
+  let arith =
+    List.filter_map
+      (function
+        | `Cmp (left, op, right) ->
+          let term = function
+            | `Var v -> term_of_var v
+            | `Lit value -> Ast.Const value
+          in
+          Some (Ast.Cmp (term left, op, term right))
+        | `Bind _ -> None)
+      cmps
+  in
+  let rule =
+    { Ast.head = { Ast.pred = "answer"; args = head_args };
+      body = atoms @ arith }
+  in
+  Qf_core.Flock.make [ rule ]
+    { Qf_core.Filter.agg = filter_agg; threshold = q.having.lower_bound }
+
+let of_string catalog text =
+  let* q = Sql_parser.parse text in
+  compile catalog q

@@ -1,0 +1,28 @@
+(** Compile the Fig. 1 SQL fragment into a query flock (paper Sec. 2.2).
+
+    The translation needs the catalog to resolve each table's column list:
+
+    - every FROM entry becomes a positive subgoal whose arguments are fresh
+      variables, one per column of the stored relation;
+    - WHERE equalities between columns unify variables; equalities with a
+      literal place the constant directly in the subgoal; other comparisons
+      become arithmetic subgoals;
+    - GROUP BY columns become the flock's parameters [$1, $2, ...] (in
+      GROUP BY order); the SELECT list must equal the GROUP BY list — the
+      flock's result {e is} the grouped column assignment;
+    - for [COUNT], the HAVING aggregate's column becomes the head of the
+      [answer] predicate, so the filter counts distinct values of that
+      column per parameter assignment — SQL's [COUNT(DISTINCT ...)], which
+      is what the paper's Fig. 1 means (support = number of baskets);
+    - for [SUM]/[MIN]/[MAX], the head carries {e every} variable of the
+      query: under set semantics the distinct full bindings are exactly the
+      join's rows, so the aggregate ranges over SQL's group rows (this is
+      why the paper's Fig. 10 writes [answer(B,W)], not [answer(W)]). *)
+
+(** Compile a parsed query against a catalog. *)
+val compile :
+  Qf_relational.Catalog.t -> Sql_ast.query -> (Qf_core.Flock.t, string) result
+
+(** Parse and compile in one step. *)
+val of_string :
+  Qf_relational.Catalog.t -> string -> (Qf_core.Flock.t, string) result

@@ -1,0 +1,298 @@
+module Value = Qf_relational.Value
+module Ast = Qf_datalog.Ast
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* {1 Lexer} *)
+
+type token =
+  | Kw of string  (** uppercased keyword *)
+  | Ident of string
+  | Int of int
+  | Real of float
+  | String of string
+  | Cmp of Ast.comparison
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star
+  | Eof
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "GROUP"; "BY"; "HAVING"; "AS";
+    "COUNT"; "SUM"; "MIN"; "MAX" ]
+
+let pp_token ppf = function
+  | Kw k -> Format.pp_print_string ppf k
+  | Ident s -> Format.pp_print_string ppf s
+  | Int i -> Format.pp_print_int ppf i
+  | Real f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "'%s'" s
+  | Cmp c -> Format.pp_print_string ppf (Ast.comparison_to_string c)
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Dot -> Format.pp_print_string ppf "."
+  | Star -> Format.pp_print_string ppf "*"
+  | Eof -> Format.pp_print_string ppf "<eof>"
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let emit t = out := t :: !out in
+  let rec ident_end i =
+    if i < n && is_ident_char input.[i] then ident_end (i + 1) else i
+  in
+  let rec digits i = if i < n && is_digit input.[i] then digits (i + 1) else i in
+  let rec string_end i buf =
+    if i >= n then fail "unterminated string literal"
+    else if input.[i] = '\'' then
+      if i + 1 < n && input.[i + 1] = '\'' then begin
+        Buffer.add_char buf '\'';
+        string_end (i + 2) buf
+      end
+      else i + 1
+    else begin
+      Buffer.add_char buf input.[i];
+      string_end (i + 1) buf
+    end
+  in
+  let rec loop i =
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+        let rec eol i = if i < n && input.[i] <> '\n' then eol (i + 1) else i in
+        loop (eol i)
+      | '(' ->
+        emit Lparen;
+        loop (i + 1)
+      | ')' ->
+        emit Rparen;
+        loop (i + 1)
+      | ',' ->
+        emit Comma;
+        loop (i + 1)
+      | '.' ->
+        emit Dot;
+        loop (i + 1)
+      | '*' ->
+        emit Star;
+        loop (i + 1)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let j = string_end (i + 1) buf in
+        emit (String (Buffer.contents buf));
+        loop j
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (Cmp Ast.Le);
+        loop (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+        emit (Cmp Ast.Ne);
+        loop (i + 2)
+      | '<' ->
+        emit (Cmp Ast.Lt);
+        loop (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (Cmp Ast.Ge);
+        loop (i + 2)
+      | '>' ->
+        emit (Cmp Ast.Gt);
+        loop (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' ->
+        emit (Cmp Ast.Ne);
+        loop (i + 2)
+      | '=' ->
+        emit (Cmp Ast.Eq);
+        loop (i + 1)
+      | '0' .. '9' ->
+        let j = digits i in
+        if j < n && input.[j] = '.' && j + 1 < n && is_digit input.[j + 1] then begin
+          let j = digits (j + 1) in
+          emit (Real (float_of_string (String.sub input i (j - i))));
+          loop j
+        end
+        else begin
+          emit (Int (int_of_string (String.sub input i (j - i))));
+          loop j
+        end
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ident_end i in
+        let word = String.sub input i (j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (Kw upper) else emit (Ident word);
+        loop j
+      | c -> fail "illegal character %C" c
+  in
+  loop 0;
+  List.rev !out
+
+(* {1 Parser} *)
+
+type state = { tokens : token array; mutable pos : int }
+
+let peek st = if st.pos < Array.length st.tokens then st.tokens.(st.pos) else Eof
+
+let next st =
+  let t = peek st in
+  if t <> Eof then st.pos <- st.pos + 1;
+  t
+
+let expect_kw st kw =
+  match next st with
+  | Kw k when String.equal k kw -> ()
+  | t -> fail "expected %s, found %a" kw (fun ppf -> pp_token ppf) t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    fail "expected %a, found %a" (fun ppf -> pp_token ppf) tok
+      (fun ppf -> pp_token ppf) t
+
+let ident st =
+  match next st with
+  | Ident s -> s
+  | t -> fail "expected an identifier, found %a" (fun ppf -> pp_token ppf) t
+
+(* alias.column *)
+let column st =
+  let alias = ident st in
+  expect st Dot;
+  let col = ident st in
+  { Sql_ast.alias; column = col }
+
+let operand st =
+  match peek st with
+  | Ident _ -> Sql_ast.Col (column st)
+  | Int i ->
+    ignore (next st);
+    Sql_ast.Lit (Value.Int i)
+  | Real f ->
+    ignore (next st);
+    Sql_ast.Lit (Value.Real f)
+  | String s ->
+    ignore (next st);
+    Sql_ast.Lit (Value.Str s)
+  | t -> fail "expected a column or literal, found %a" (fun ppf -> pp_token ppf) t
+
+let comma_list st parse_item =
+  let rec more acc =
+    let item = parse_item st in
+    match peek st with
+    | Comma ->
+      ignore (next st);
+      more (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  more []
+
+let predicate st =
+  let left = operand st in
+  let op =
+    match next st with
+    | Cmp c -> c
+    | t -> fail "expected a comparison, found %a" (fun ppf -> pp_token ppf) t
+  in
+  let right = operand st in
+  { Sql_ast.left; op; right }
+
+let aggregate st =
+  let make kw =
+    expect st Lparen;
+    let c = column st in
+    expect st Rparen;
+    match kw with
+    | "COUNT" -> Sql_ast.Count c
+    | "SUM" -> Sql_ast.Sum c
+    | "MIN" -> Sql_ast.Min c
+    | "MAX" -> Sql_ast.Max c
+    | _ -> assert false
+  in
+  match next st with
+  | Kw (("COUNT" | "SUM" | "MIN" | "MAX") as kw) -> make kw
+  | t -> fail "expected an aggregate, found %a" (fun ppf -> pp_token ppf) t
+
+let number st =
+  match next st with
+  | Int i -> float_of_int i
+  | Real f -> f
+  | t -> fail "expected a number, found %a" (fun ppf -> pp_token ppf) t
+
+(* HAVING n <= AGG(c)   or   HAVING AGG(c) >= n *)
+let having st =
+  match peek st with
+  | Int _ | Real _ ->
+    let bound = number st in
+    (match next st with
+    | Cmp Ast.Le -> ()
+    | Cmp Ast.Lt -> fail "HAVING requires a non-strict bound (<= or >=)"
+    | t -> fail "expected <=, found %a" (fun ppf -> pp_token ppf) t);
+    let agg = aggregate st in
+    { Sql_ast.agg; lower_bound = bound }
+  | _ ->
+    let agg = aggregate st in
+    (match next st with
+    | Cmp Ast.Ge -> ()
+    | Cmp Ast.Gt -> fail "HAVING requires a non-strict bound (<= or >=)"
+    | t -> fail "expected >=, found %a" (fun ppf -> pp_token ppf) t);
+    let bound = number st in
+    { Sql_ast.agg; lower_bound = bound }
+
+let from_item st =
+  let table = ident st in
+  match peek st with
+  | Ident _ -> table, ident st
+  | Kw "AS" ->
+    ignore (next st);
+    table, ident st
+  | _ -> table, table
+
+let query st =
+  expect_kw st "SELECT";
+  let select = comma_list st column in
+  expect_kw st "FROM";
+  let from = comma_list st from_item in
+  let where =
+    match peek st with
+    | Kw "WHERE" ->
+      ignore (next st);
+      let rec preds acc =
+        let p = predicate st in
+        match peek st with
+        | Kw "AND" ->
+          ignore (next st);
+          preds (p :: acc)
+        | _ -> List.rev (p :: acc)
+      in
+      preds []
+    | _ -> []
+  in
+  expect_kw st "GROUP";
+  expect_kw st "BY";
+  let group_by = comma_list st column in
+  expect_kw st "HAVING";
+  let hv = having st in
+  (match peek st with
+  | Eof -> ()
+  | t -> fail "trailing input: %a" (fun ppf -> pp_token ppf) t);
+  { Sql_ast.select; from; where; group_by; having = hv }
+
+let parse text =
+  match query { tokens = Array.of_list (tokenize text); pos = 0 } with
+  | q -> Ok q
+  | exception Error msg -> Error msg
+
+let parse_exn text =
+  match parse text with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Sql_parser.parse: " ^ msg)

@@ -1,0 +1,9 @@
+(** Parser for the Fig. 1 SQL fragment.
+
+    Keywords are case-insensitive; identifiers keep their case.  String
+    literals use single quotes (['beer']); [<>] and [!=] both mean
+    not-equal.  [HAVING] accepts both orientations of the lower bound
+    ([COUNT(c) >= n] and [n <= COUNT(c)]) and normalizes them. *)
+
+val parse : string -> (Sql_ast.query, string) result
+val parse_exn : string -> Sql_ast.query

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Bytes Char Format Int64 List Qf_relational String

@@ -1,0 +1,1 @@
+lib/storage/file_mining.ml: Array Hashtbl Heap_file List Option Qf_relational

@@ -1,0 +1,1 @@
+lib/storage/file_mining.mli: Heap_file Qf_relational

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Codec Page Pager Printf Qf_relational Sys

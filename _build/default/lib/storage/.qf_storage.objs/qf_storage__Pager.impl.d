@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Bytes Hashtbl Page Printf Stdlib Sys

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Filename Fun Heap_file List Printf Qf_relational String Sys

@@ -1,0 +1,1 @@
+lib/storage/store.mli: Qf_relational

@@ -1,0 +1,24 @@
+(** Binary serialization of values, tuples, and schemas.
+
+    Encoding: a value is a tag byte ([0] int, [1] real, [2] string)
+    followed by a fixed 8-byte little-endian payload for numbers or a
+    length-prefixed (4-byte LE) byte sequence for strings.  A tuple is a
+    2-byte LE field count followed by its values.  Schemas serialize as a
+    tuple of strings.  Decoding validates tags and bounds and raises
+    [Failure] on corruption. *)
+
+val encode_value : Buffer.t -> Qf_relational.Value.t -> unit
+
+(** [decode_value bytes off] returns the value and the offset past it. *)
+val decode_value : bytes -> int -> Qf_relational.Value.t * int
+
+val encode_tuple : Buffer.t -> Qf_relational.Tuple.t -> unit
+val decode_tuple : bytes -> int -> Qf_relational.Tuple.t * int
+
+(** Whole-buffer helpers for records stored in pages. *)
+val tuple_to_string : Qf_relational.Tuple.t -> string
+
+val tuple_of_string : string -> Qf_relational.Tuple.t
+
+val schema_to_string : Qf_relational.Schema.t -> string
+val schema_of_string : string -> Qf_relational.Schema.t

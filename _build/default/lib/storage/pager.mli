@@ -1,0 +1,32 @@
+(** A buffer pool over one page file.
+
+    Pages are cached with an LRU policy; writes mark the cached page dirty
+    and are flushed on eviction, {!flush}, or {!close}.  Page ids are
+    0-based file offsets in page units. *)
+
+type t
+
+(** Open (creating if absent) a page file.  [capacity] is the number of
+    cached pages (default 64; at least 1). *)
+val open_file : ?capacity:int -> string -> t
+
+(** Number of pages currently in the file (including unflushed appended
+    pages). *)
+val page_count : t -> int
+
+(** Fetch a page (from cache or disk).  Raises [Invalid_argument] on an
+    out-of-range id. *)
+val read : t -> int -> Page.t
+
+(** Mark a fetched page dirty so eviction/flush persists it.  The page must
+    have come from {!read} or {!append}. *)
+val mark_dirty : t -> int -> unit
+
+(** Append a fresh empty page; returns its id.  The page is dirty. *)
+val append : t -> int * Page.t
+
+(** Cache statistics: (hits, misses, evictions). *)
+val stats : t -> int * int * int
+
+val flush : t -> unit
+val close : t -> unit

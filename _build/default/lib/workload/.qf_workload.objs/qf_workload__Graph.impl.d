@@ -1,0 +1,1 @@
+lib/workload/graph.ml: Fun List Printf Qf_core Qf_datalog Qf_relational Rng Zipf

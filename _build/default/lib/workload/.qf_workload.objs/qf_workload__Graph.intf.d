@@ -1,0 +1,1 @@
+lib/workload/graph.mli: Qf_core Qf_relational

@@ -1,0 +1,1 @@
+lib/workload/market.ml: List Qf_relational Rng Zipf

@@ -1,0 +1,1 @@
+lib/workload/market.mli: Qf_relational

@@ -1,0 +1,1 @@
+lib/workload/medical.ml: Array Int List Qf_relational Rng Zipf

@@ -1,0 +1,1 @@
+lib/workload/medical.mli: Qf_relational

@@ -1,0 +1,1 @@
+lib/workload/webdocs.ml: Array Int List Qf_relational Rng Zipf

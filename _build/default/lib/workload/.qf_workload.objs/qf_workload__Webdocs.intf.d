@@ -1,0 +1,1 @@
+lib/workload/webdocs.mli: Qf_relational

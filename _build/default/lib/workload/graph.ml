@@ -1,0 +1,62 @@
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Value = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+module Ast = Qf_datalog.Ast
+
+type config = {
+  n_nodes : int;
+  max_out_degree : int;
+  degree_zipf : float;
+  seed : int;
+}
+
+let default =
+  { n_nodes = 400; max_out_degree = 60; degree_zipf = 1.2; seed = 99 }
+
+let generate config =
+  let rng = Rng.create config.seed in
+  let degree_dist = Zipf.create ~n:config.max_out_degree ~s:config.degree_zipf in
+  let arc = Relation.create (Schema.of_list [ "X"; "Y" ]) in
+  for x = 1 to config.n_nodes do
+    (* Out-degree is the sampled Zipf rank itself: most nodes have very few
+       successors; high-degree hubs are rare — the skew that makes the ok0
+       pruning step of Fig. 7 worthwhile. *)
+    let degree = Zipf.sample degree_dist rng in
+    for _ = 1 to degree do
+      let y = 1 + Rng.int rng config.n_nodes in
+      Relation.add arc [| Value.Int x; Value.Int y |]
+    done
+  done;
+  let catalog = Catalog.create () in
+  Catalog.add catalog "arc" arc;
+  catalog
+
+let arc_atom a b = Ast.Pos { Ast.pred = "arc"; args = [ a; b ] }
+
+let path_body n =
+  let first = arc_atom (Ast.Param "1") (Ast.Var "X") in
+  if n = 0 then [ first ]
+  else
+    let chain =
+      List.init n (fun i ->
+          let src = if i = 0 then Ast.Var "X" else Ast.Var (Printf.sprintf "Y%d" i) in
+          let dst = Ast.Var (Printf.sprintf "Y%d" (i + 1)) in
+          arc_atom src dst)
+    in
+    first :: chain
+
+let path_flock ~n ~support =
+  if n < 0 then invalid_arg "path_flock: n must be >= 0";
+  let rule =
+    { Ast.head = { Ast.pred = "answer"; args = [ Ast.Var "X" ] };
+      body = path_body n }
+  in
+  Qf_core.Flock.make_exn [ rule ] (Qf_core.Filter.count_at_least support)
+
+let chain_plan flock ~n =
+  if n < 1 then invalid_arg "chain_plan: n must be >= 1";
+  let prefixes = List.init n (fun k -> List.init (k + 1) Fun.id) in
+  match Qf_core.Apriori_gen.chain_plan flock ~prefixes with
+  | Ok plan -> plan
+  | Error msg -> invalid_arg ("Graph.chain_plan: " ^ msg)

@@ -1,0 +1,29 @@
+(** Random directed graphs for the "pathological" path flock (paper Ex. 4.3,
+    Figs. 6/7).
+
+    The flock asks for nodes [$1] with at least [s] successors from which a
+    path of length [n] extends; the interesting structure is a skewed
+    out-degree distribution: a few hub nodes with many successors, a long
+    tail with few.  Out-degrees are drawn Zipf-style so that hub pruning
+    (the ok0 step of Fig. 7) bites. *)
+
+type config = {
+  n_nodes : int;
+  max_out_degree : int;
+  degree_zipf : float;  (** skew of the out-degree distribution *)
+  seed : int;
+}
+
+val default : config
+
+(** Catalog with a single relation [arc(X, Y)]; nodes are [Int 1..n]. *)
+val generate : config -> Qf_relational.Catalog.t
+
+(** [path_flock ~n ~support] is the flock of Fig. 6: [answer(X) :-
+    arc($1,X) AND arc(X,Y1) AND ... AND arc(Y_(n-1),Y_n)], counting
+    distinct first successors [X]. *)
+val path_flock : n:int -> support:int -> Qf_core.Flock.t
+
+(** The (n+1)-step chain plan of Fig. 7 for {!path_flock}: step [k] keeps
+    the first [k+1] arc subgoals plus the previous step's [ok]. *)
+val chain_plan : Qf_core.Flock.t -> n:int -> Qf_core.Plan.t

@@ -1,0 +1,77 @@
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Value = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+type config = {
+  n_baskets : int;
+  n_items : int;
+  avg_basket_size : int;
+  zipf_exponent : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_baskets = 2000;
+    n_items = 500;
+    avg_basket_size = 8;
+    zipf_exponent = 1.0;
+    seed = 42;
+  }
+
+let relation config =
+  let rng = Rng.create config.seed in
+  let zipf = Zipf.create ~n:config.n_items ~s:config.zipf_exponent in
+  let rel = Relation.create (Schema.of_list [ "BID"; "Item" ]) in
+  for bid = 1 to config.n_baskets do
+    (* Basket size: uniform in [1, 2*avg - 1], mean = avg. *)
+    let size = 1 + Rng.int rng (max 1 ((2 * config.avg_basket_size) - 1)) in
+    for _ = 1 to size do
+      let item = Zipf.sample zipf rng in
+      Relation.add rel [| Value.Int bid; Value.Int item |]
+    done
+  done;
+  rel
+
+let relation_with_patterns config ~n_patterns ~pattern_size ~rate =
+  let rng = Rng.create (config.seed + 104729) in
+  let zipf = Zipf.create ~n:config.n_items ~s:config.zipf_exponent in
+  (* Pattern items live at the top of the id range: the Zipf tail, so the
+     pattern signal is not confounded by independently-popular items. *)
+  let patterns =
+    List.init n_patterns (fun p ->
+        List.init pattern_size (fun i ->
+            config.n_items + 1 + (p * pattern_size) + i))
+  in
+  let rel = Relation.create (Schema.of_list [ "BID"; "Item" ]) in
+  for bid = 1 to config.n_baskets do
+    let size = 1 + Rng.int rng (max 1 ((2 * config.avg_basket_size) - 1)) in
+    for _ = 1 to size do
+      Relation.add rel [| Value.Int bid; Value.Int (Zipf.sample zipf rng) |]
+    done;
+    List.iter
+      (fun pattern ->
+        if Rng.bool rng rate then
+          List.iter
+            (fun item -> Relation.add rel [| Value.Int bid; Value.Int item |])
+            pattern)
+      patterns
+  done;
+  rel, patterns
+
+let catalog ?(pred = "baskets") config =
+  let cat = Catalog.create () in
+  Catalog.add cat pred (relation config);
+  cat
+
+let catalog_with_importance ?(pred = "baskets") ?(max_weight = 10) config =
+  let cat = catalog ~pred config in
+  let rng = Rng.create (config.seed + 7919) in
+  let importance = Relation.create (Schema.of_list [ "BID"; "W" ]) in
+  for bid = 1 to config.n_baskets do
+    Relation.add importance
+      [| Value.Int bid; Value.Int (1 + Rng.int rng max_weight) |]
+  done;
+  Catalog.add cat "importance" importance;
+  cat

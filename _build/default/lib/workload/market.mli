@@ -1,0 +1,40 @@
+(** Synthetic market-basket data (and the word-occurrence corpora of the
+    paper's Sec. 1.3, which have the same shape).
+
+    Items are integers [1..n_items] drawn with Zipf popularity; each basket
+    holds a random number of distinct items around [avg_basket_size].  The
+    result is a [(BID, Item)] relation under the predicate name [pred]. *)
+
+type config = {
+  n_baskets : int;
+  n_items : int;
+  avg_basket_size : int;
+  zipf_exponent : float;  (** item-popularity skew; ~1.0 is realistic *)
+  seed : int;
+}
+
+val default : config
+
+(** The baskets relation, columns [BID] (Int) and [Item] (Int). *)
+val relation : config -> Qf_relational.Relation.t
+
+(** Like {!relation} but additionally plants item-set patterns, Quest-style:
+    each pattern is a fixed itemset injected into a [rate] fraction of
+    baskets, so generated data has known ground-truth associations.
+    Returns the relation and the planted itemsets (sorted item ids).
+    Pattern items are drawn from the top of the id range so they rarely
+    collide with the Zipf head. *)
+val relation_with_patterns :
+  config ->
+  n_patterns:int ->
+  pattern_size:int ->
+  rate:float ->
+  Qf_relational.Relation.t * int list list
+
+(** A catalog binding the relation under [pred] (default ["baskets"]). *)
+val catalog : ?pred:string -> config -> Qf_relational.Catalog.t
+
+(** Like {!catalog}, additionally binding [importance(BID, W)] with integer
+    weights in [1..max_weight] — the weighted-basket extension of Fig. 10. *)
+val catalog_with_importance :
+  ?pred:string -> ?max_weight:int -> config -> Qf_relational.Catalog.t

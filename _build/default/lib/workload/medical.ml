@@ -1,0 +1,124 @@
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Value = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+type config = {
+  n_patients : int;
+  diseases_per_patient : int;
+  n_diseases : int;
+  n_symptoms : int;
+  n_medicines : int;
+  symptoms_per_disease : int;
+  background_symptoms : int;
+  background_medicines : int;
+  symptom_zipf : float;
+  medicine_zipf : float;
+  planted_side_effects : int;
+  side_effect_rate : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_patients = 2000;
+    diseases_per_patient = 1;
+    n_diseases = 20;
+    n_symptoms = 300;
+    n_medicines = 100;
+    symptoms_per_disease = 4;
+    background_symptoms = 3;
+    background_medicines = 1;
+    symptom_zipf = 1.0;
+    medicine_zipf = 0.8;
+    planted_side_effects = 3;
+    side_effect_rate = 0.8;
+    seed = 7;
+  }
+
+type t = {
+  catalog : Qf_relational.Catalog.t;
+  planted : (int * int) list;
+}
+
+let patient i = Value.Int i
+let disease i = Value.Int i
+let symptom i = Value.Int i
+let medicine i = Value.Int i
+
+let generate config =
+  let rng = Rng.create config.seed in
+  let symptom_dist = Zipf.create ~n:config.n_symptoms ~s:config.symptom_zipf in
+  let medicine_dist =
+    Zipf.create ~n:config.n_medicines ~s:config.medicine_zipf
+  in
+  (* Disease profile: caused symptoms and the indicated medicine. *)
+  let caused = Array.make (config.n_diseases + 1) [] in
+  let indicated = Array.make (config.n_diseases + 1) 1 in
+  for d = 1 to config.n_diseases do
+    let symptoms = ref [] in
+    while List.length !symptoms < config.symptoms_per_disease do
+      let s = 1 + Rng.int rng config.n_symptoms in
+      if not (List.mem s !symptoms) then symptoms := s :: !symptoms
+    done;
+    caused.(d) <- !symptoms;
+    indicated.(d) <- 1 + Rng.int rng config.n_medicines
+  done;
+  (* Planted side effects: the indicated medicine of disease d produces a
+     symptom that d does not cause, so the effect is "unexplained". *)
+  let planted =
+    List.init (min config.planted_side_effects config.n_diseases) (fun i ->
+        let d = i + 1 in
+        let s = ref (1 + Rng.int rng config.n_symptoms) in
+        while List.mem !s caused.(d) do
+          s := 1 + Rng.int rng config.n_symptoms
+        done;
+        d, indicated.(d), !s)
+  in
+  let diagnoses = Relation.create (Schema.of_list [ "Patient"; "Disease" ]) in
+  let exhibits = Relation.create (Schema.of_list [ "Patient"; "Symptom" ]) in
+  let treatments = Relation.create (Schema.of_list [ "Patient"; "Medicine" ]) in
+  let causes = Relation.create (Schema.of_list [ "Disease"; "Symptom" ]) in
+  for d = 1 to config.n_diseases do
+    List.iter
+      (fun s -> Relation.add causes [| disease d; symptom s |])
+      caused.(d)
+  done;
+  for p = 1 to config.n_patients do
+    let n_diseases = max 1 config.diseases_per_patient in
+    let patient_diseases =
+      List.init n_diseases (fun _ -> 1 + Rng.int rng config.n_diseases)
+      |> List.sort_uniq Int.compare
+    in
+    List.iter
+      (fun d ->
+        Relation.add diagnoses [| patient p; disease d |];
+        List.iter
+          (fun s ->
+            if Rng.bool rng 0.8 then
+              Relation.add exhibits [| patient p; symptom s |])
+          caused.(d);
+        Relation.add treatments [| patient p; medicine indicated.(d) |];
+        (* Planted effects fire for patients of the planted disease (who
+           all take its indicated medicine). *)
+        List.iter
+          (fun (pd, _m, s) ->
+            if pd = d && Rng.bool rng config.side_effect_rate then
+              Relation.add exhibits [| patient p; symptom s |])
+          planted)
+      patient_diseases;
+    for _ = 1 to config.background_symptoms do
+      Relation.add exhibits
+        [| patient p; symptom (Zipf.sample symptom_dist rng) |]
+    done;
+    for _ = 1 to config.background_medicines do
+      Relation.add treatments
+        [| patient p; medicine (Zipf.sample medicine_dist rng) |]
+    done
+  done;
+  let catalog = Catalog.create () in
+  Catalog.add catalog "diagnoses" diagnoses;
+  Catalog.add catalog "exhibits" exhibits;
+  Catalog.add catalog "treatments" treatments;
+  Catalog.add catalog "causes" causes;
+  { catalog; planted = List.map (fun (_, m, s) -> m, s) planted }

@@ -1,0 +1,52 @@
+(** Synthetic medical database for the side-effects flock (paper Ex. 2.2,
+    Figs. 3/5/8/9).
+
+    Relations generated:
+    - [diagnoses(Patient, Disease)] — one disease per patient (the paper's
+      simplifying assumption);
+    - [exhibits(Patient, Symptom)] — symptoms of the patient's disease plus
+      Zipf-distributed background symptoms;
+    - [treatments(Patient, Medicine)] — a medicine indicated for the
+      disease, plus background medicines;
+    - [causes(Disease, Symptom)] — the known disease-symptom associations.
+
+    A configurable number of {e planted side effects} (medicine, symptom)
+    pairs is injected: patients taking the medicine exhibit the symptom even
+    though their disease does not cause it.  The generator returns the
+    planted pairs so tests can check that the flock finds them. *)
+
+type config = {
+  n_patients : int;
+  diseases_per_patient : int;
+      (** 1 reproduces the paper's simplifying assumption; higher values
+          exercise the intermediate-predicate (VIEWS) extension *)
+  n_diseases : int;
+  n_symptoms : int;
+  n_medicines : int;
+  symptoms_per_disease : int;
+  background_symptoms : int;  (** extra random symptoms per patient *)
+  background_medicines : int;  (** extra random medicines per patient *)
+  symptom_zipf : float;  (** background symptom popularity skew *)
+  medicine_zipf : float;
+  planted_side_effects : int;
+  side_effect_rate : float;  (** P(symptom | taking the planted medicine) *)
+  seed : int;
+}
+
+val default : config
+
+type t = {
+  catalog : Qf_relational.Catalog.t;
+  planted : (int * int) list;
+      (** (medicine id, symptom id) pairs injected into the data *)
+}
+
+val generate : config -> t
+
+(** Constant names used in the relations: patient [i] is [Int i], and so
+    on; exposed so tests can build expectations. *)
+val patient : int -> Qf_relational.Value.t
+
+val disease : int -> Qf_relational.Value.t
+val symptom : int -> Qf_relational.Value.t
+val medicine : int -> Qf_relational.Value.t

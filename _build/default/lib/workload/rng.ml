@@ -1,0 +1,29 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent statistical
+   quality for simulation workloads, and trivially splittable. *)
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to 62 bits so the value fits OCaml's 63-bit int, staying
+     non-negative. *)
+  let raw = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+  raw mod bound
+
+let float t =
+  let bits53 = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int bits53 /. 9007199254740992.0
+
+let bool t p = float t < p
+
+let split t = { state = next t }

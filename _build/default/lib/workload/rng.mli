@@ -1,0 +1,21 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every workload generator takes an explicit seed so that examples, tests,
+    and benchmarks are reproducible run-to-run and machine-to-machine; the
+    global [Random] state is never touched. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound); [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Bernoulli with probability [p]. *)
+val bool : t -> float -> bool
+
+(** An independent generator split off deterministically. *)
+val split : t -> t

@@ -1,0 +1,73 @@
+module Relation = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Value = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+type config = {
+  n_docs : int;
+  n_words : int;
+  n_anchors : int;
+  title_words : int;
+  anchor_words : int;
+  word_zipf : float;
+  anchor_affinity : float;
+  target_zipf : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_docs = 500;
+    n_words = 400;
+    n_anchors = 1500;
+    title_words = 4;
+    anchor_words = 3;
+    word_zipf = 1.0;
+    anchor_affinity = 0.6;
+    target_zipf = 0.9;
+    seed = 23;
+  }
+
+let word i = Value.Int i
+
+let generate config =
+  let rng = Rng.create config.seed in
+  let word_dist = Zipf.create ~n:config.n_words ~s:config.word_zipf in
+  let target_dist = Zipf.create ~n:config.n_docs ~s:config.target_zipf in
+  let in_title = Relation.create (Schema.of_list [ "D"; "W" ]) in
+  let in_anchor = Relation.create (Schema.of_list [ "A"; "W" ]) in
+  let link = Relation.create (Schema.of_list [ "A"; "D1"; "D2" ]) in
+  (* Titles. *)
+  let titles = Array.make (config.n_docs + 1) [] in
+  for d = 1 to config.n_docs do
+    let words = ref [] in
+    for _ = 1 to config.title_words do
+      words := Zipf.sample word_dist rng :: !words
+    done;
+    titles.(d) <- List.sort_uniq Int.compare !words;
+    List.iter
+      (fun w -> Relation.add in_title [| Value.Int d; word w |])
+      titles.(d)
+  done;
+  (* Anchors: id space disjoint from documents. *)
+  for i = 1 to config.n_anchors do
+    let a = config.n_docs + i in
+    let source = 1 + Rng.int rng config.n_docs in
+    let target = Zipf.sample target_dist rng in
+    Relation.add link [| Value.Int a; Value.Int source; Value.Int target |];
+    for _ = 1 to config.anchor_words do
+      let w =
+        if Rng.bool rng config.anchor_affinity && titles.(target) <> [] then begin
+          let t = titles.(target) in
+          List.nth t (Rng.int rng (List.length t))
+        end
+        else Zipf.sample word_dist rng
+      in
+      Relation.add in_anchor [| Value.Int a; word w |]
+    done
+  done;
+  let catalog = Catalog.create () in
+  Catalog.add catalog "inTitle" in_title;
+  Catalog.add catalog "inAnchor" in_anchor;
+  Catalog.add catalog "link" link;
+  catalog

@@ -1,0 +1,36 @@
+(** Synthetic HTML-document corpus for the strongly-connected-words flock
+    (paper Ex. 2.3, Fig. 4).
+
+    Relations generated:
+    - [inTitle(D, W)] — word [W] occurs in the title of document [D];
+    - [inAnchor(A, W)] — word [W] occurs in the anchor text of anchor [A];
+    - [link(A, D1, D2)] — anchor [A] links document [D1] to document [D2].
+
+    Document and anchor ids live in disjoint ranges (documents [1..n_docs],
+    anchors [n_docs+1 ..]), matching the paper's assumption that the two id
+    spaces never collide (otherwise the union's count could be too low).
+    Anchor words are correlated with the target document's title words with
+    probability [anchor_affinity], which is what creates strongly connected
+    pairs. *)
+
+type config = {
+  n_docs : int;
+  n_words : int;
+  n_anchors : int;
+  title_words : int;  (** words per title *)
+  anchor_words : int;  (** words per anchor text *)
+  word_zipf : float;
+  anchor_affinity : float;
+  target_zipf : float;
+      (** skew of link-target popularity: a few documents attract many
+          anchors, which is what makes anchor-word/title-word pairs reach
+          the support threshold *)
+  seed : int;
+}
+
+val default : config
+
+val generate : config -> Qf_relational.Catalog.t
+
+(** Word constants are integers [1..n_words]. *)
+val word : int -> Qf_relational.Value.t

@@ -1,0 +1,32 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if s < 0. then invalid_arg "Zipf.create: s must be >= 0";
+  let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.;
+  { cdf }
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* first index with cdf >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length t.cdf - 1) + 1
+
+let prob t rank =
+  if rank < 1 || rank > Array.length t.cdf then 0.
+  else if rank = 1 then t.cdf.(0)
+  else t.cdf.(rank - 1) -. t.cdf.(rank - 2)

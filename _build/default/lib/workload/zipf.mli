@@ -1,0 +1,18 @@
+(** Zipf-distributed sampling over ranks [1..n].
+
+    P(rank = r) ∝ 1 / r^s.  Heavy-tailed item popularity is the property
+    that makes a-priori pre-filtering pay off (most items fall below the
+    support threshold while a few dominate), so every synthetic workload in
+    this reproduction draws from a Zipf. *)
+
+type t
+
+(** [create ~n ~s] precomputes the CDF.  [n >= 1], [s >= 0] ([s = 0] is
+    uniform). *)
+val create : n:int -> s:float -> t
+
+(** A rank in [1..n]; binary search over the CDF. *)
+val sample : t -> Rng.t -> int
+
+(** Exact probability of a rank. *)
+val prob : t -> int -> float

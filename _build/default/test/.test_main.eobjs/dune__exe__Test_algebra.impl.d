@@ -1,0 +1,1 @@
+test/test_algebra.ml: Aggregate Alcotest Catalog Csv Filename Join List Qf_relational Relation Schema Statistics Sys Tuple Value

@@ -1,0 +1,1 @@
+test/test_apriori.ml: Alcotest Apriori Array Itemset List Option Printf Qf_apriori Qf_core Qf_relational Qf_workload

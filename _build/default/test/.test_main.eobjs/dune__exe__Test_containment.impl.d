@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Containment List Parser Qf_datalog

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Direct Dynamic Filter Flock List Option Parse Printf Qf_core Qf_datalog Qf_relational Qf_workload Test_util

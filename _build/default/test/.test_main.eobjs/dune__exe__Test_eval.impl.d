@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Ast Eval List Parser Qf_datalog Qf_relational Test_util

@@ -1,0 +1,1 @@
+test/test_flock.ml: Alcotest Direct Filter Flock List Naive Parse Printf Qf_core Qf_relational Result Test_util

@@ -1,0 +1,1 @@
+test/test_generation.ml: Alcotest Apriori_gen Cost Direct Explain Filter Flock List Optimizer Parse Plan Plan_exec Printf Qf_core Qf_datalog Qf_relational Qf_workload Result Test_util

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Explain Flock Parse Plan Qf_core Qf_datalog Qf_workload

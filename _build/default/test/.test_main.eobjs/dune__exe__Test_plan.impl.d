@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Apriori_gen Direct Explain Filter Flock List Parse Plan Plan_exec Printf Qf_core Qf_datalog Qf_relational Qf_workload Result Test_util

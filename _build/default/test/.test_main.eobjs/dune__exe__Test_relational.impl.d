@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array Index List Qf_relational Relation Schema Statistics Tuple Value

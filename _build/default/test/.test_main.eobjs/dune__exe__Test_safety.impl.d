@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Array List Parser Qf_datalog Safety Subquery

@@ -1,0 +1,1 @@
+test/test_sequence.ml: Alcotest Array List Printf Qf_apriori Qf_core Qf_relational Qf_workload Sequence

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Compile List Printf Qf_core Qf_datalog Qf_relational Qf_sql Qf_workload Result Sql_ast Sql_parser Test_util

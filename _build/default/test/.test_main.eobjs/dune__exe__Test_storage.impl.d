@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Buffer Bytes Codec File_mining Filename Format Heap_file List Page Printf Qf_core Qf_relational Qf_storage Qf_workload Store String Sys Test_util

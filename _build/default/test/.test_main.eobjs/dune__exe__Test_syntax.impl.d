@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Ast Lexer List Parser Pretty Printf Qf_datalog Qf_relational Result String Test_util

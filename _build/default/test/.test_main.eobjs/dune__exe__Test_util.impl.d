@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format List Qf_relational String

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Format List Qf_relational Value

@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Direct Dynamic Flock List Measures Optimizer Parse Plan_exec Qf_apriori Qf_core Qf_datalog Qf_relational Qf_workload Result Test_util Views

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Graph List Market Medical Printf Qf_core Qf_datalog Qf_relational Qf_workload Rng Webdocs Zipf

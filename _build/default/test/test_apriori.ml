@@ -1,0 +1,164 @@
+(* The classic a-priori miner, and its agreement with the query-flock
+   levelwise plan (paper Sec. 4.3, footnote 3). *)
+open Qf_apriori
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let set = Itemset.of_list
+
+let test_itemset_normalization () =
+  check_bool "sorted dedup" true (Itemset.equal (set [ 3; 1; 3; 2 ]) (set [ 1; 2; 3 ]));
+  check_int "size" 3 (Itemset.size (set [ 3; 1; 2 ]))
+
+let test_itemset_ops () =
+  check_bool "mem" true (Itemset.mem 2 (set [ 1; 2; 3 ]));
+  check_bool "not mem" false (Itemset.mem 4 (set [ 1; 2; 3 ]));
+  check_bool "subset" true (Itemset.subset (set [ 1; 3 ]) (set [ 1; 2; 3 ]));
+  check_bool "not subset" false (Itemset.subset (set [ 1; 4 ]) (set [ 1; 2; 3 ]));
+  check_bool "union" true
+    (Itemset.equal (Itemset.union (set [ 1; 2 ]) (set [ 2; 3 ])) (set [ 1; 2; 3 ]));
+  check_bool "minus" true
+    (Itemset.equal (Itemset.minus (set [ 1; 2; 3 ]) (set [ 2 ])) (set [ 1; 3 ]))
+
+let test_itemset_join () =
+  check_bool "joinable prefixes" true
+    (match Itemset.join (set [ 1; 2 ]) (set [ 1; 3 ]) with
+    | Some j -> Itemset.equal j (set [ 1; 2; 3 ])
+    | None -> false);
+  check_bool "wrong order not joinable" true
+    (Itemset.join (set [ 1; 3 ]) (set [ 1; 2 ]) = None);
+  check_bool "different prefix not joinable" true
+    (Itemset.join (set [ 1; 2 ]) (set [ 3; 4 ]) = None)
+
+let test_drop_one () =
+  let subs = Itemset.drop_one (set [ 1; 2; 3 ]) in
+  check_int "three subsets" 3 (List.length subs);
+  check_bool "all size 2" true (List.for_all (fun s -> Itemset.size s = 2) subs)
+
+(* A hand-checkable transaction database. *)
+let db =
+  List.map set
+    [
+      [ 1; 2; 3 ];
+      [ 1; 2 ];
+      [ 1; 3 ];
+      [ 2; 3 ];
+      [ 1; 2; 3 ];
+      [ 4 ];
+    ]
+
+let support_of levels target =
+  List.concat levels
+  |> List.find_opt (fun f -> Itemset.equal f.Apriori.itemset target)
+  |> Option.map (fun f -> f.Apriori.support)
+
+let test_mine_levels () =
+  let levels = Apriori.mine db ~support:2 ~max_size:3 in
+  check_int "three levels" 3 (List.length levels);
+  check_int "L1 size (1,2,3 frequent; 4 is not)" 3
+    (List.length (List.nth levels 0));
+  check_int "L2 size" 3 (List.length (List.nth levels 1));
+  check_int "L3 size" 1 (List.length (List.nth levels 2));
+  Alcotest.(check (option int)) "supp{1,2}" (Some 3) (support_of levels (set [ 1; 2 ]));
+  Alcotest.(check (option int)) "supp{1,3}" (Some 3) (support_of levels (set [ 1; 3 ]));
+  Alcotest.(check (option int)) "supp{2,3}" (Some 3) (support_of levels (set [ 2; 3 ]));
+  Alcotest.(check (option int)) "supp{1,2,3}" (Some 2)
+    (support_of levels (set [ 1; 2; 3 ]))
+
+let test_mine_high_support () =
+  let levels = Apriori.mine db ~support:4 ~max_size:3 in
+  check_int "only L1 survives" 1 (List.length levels);
+  Alcotest.(check (option int)) "supp{1}" (Some 4) (support_of levels (set [ 1 ]))
+
+let test_candidate_pruning () =
+  (* {1,2} and {1,3} join to {1,2,3}; pruned unless {2,3} is also frequent. *)
+  let without = Apriori.candidates [ set [ 1; 2 ]; set [ 1; 3 ] ] in
+  check_int "pruned" 0 (List.length without);
+  let with_all =
+    Apriori.candidates [ set [ 1; 2 ]; set [ 1; 3 ]; set [ 2; 3 ] ]
+  in
+  check_int "kept" 1 (List.length with_all)
+
+let test_db_of_relation () =
+  let rel =
+    R.of_values [ "BID"; "Item" ]
+      V.[
+        [ Int 1; Int 10 ]; [ Int 1; Int 20 ]; [ Int 2; Int 10 ];
+        [ Int 1; Int 10 ] (* duplicate collapses *);
+      ]
+  in
+  let db = Apriori.db_of_relation rel in
+  check_int "two baskets" 2 (List.length db);
+  check_bool "basket contents" true
+    (List.exists (fun b -> Itemset.equal b (set [ 10; 20 ])) db)
+
+let test_rules () =
+  let rules =
+    Apriori.rules db ~support:2 ~max_size:2 ~min_confidence:0.7
+  in
+  (* supp{1}=4, supp{2}=4, supp{1,2}=3: conf(1->2) = 3/4 = 0.75 >= 0.7 *)
+  check_bool "1 -> 2 found" true
+    (List.exists
+       (fun (r : Apriori.rule) ->
+         Itemset.equal r.antecedent (set [ 1 ])
+         && Itemset.equal r.consequent (set [ 2 ])
+         && abs_float (r.confidence -. 0.75) < 1e-9)
+       rules);
+  (* interest(1->2) = conf / P(2) = 0.75 / (4/6) = 1.125 *)
+  let r12 =
+    List.find
+      (fun (r : Apriori.rule) ->
+        Itemset.equal r.antecedent (set [ 1 ]) && Itemset.equal r.consequent (set [ 2 ]))
+      rules
+  in
+  Alcotest.(check (float 1e-9)) "interest" 1.125 r12.interest
+
+(* Cross-check: the classic miner and the query-flock levelwise plan compute
+   the same frequent pairs/triples on generated market data. *)
+let test_classic_vs_flock () =
+  let cat =
+    Qf_workload.Market.catalog
+      { Qf_workload.Market.default with n_baskets = 300; n_items = 80; seed = 13 }
+  in
+  let rel = Qf_relational.Catalog.find cat "baskets" in
+  let db = Apriori.db_of_relation rel in
+  List.iter
+    (fun (k, support) ->
+      let flock, plan =
+        Qf_core.Apriori_gen.levelwise_basket ~pred:"baskets" ~k ~support
+      in
+      ignore flock;
+      let flock_result = Qf_core.Plan_exec.run cat plan in
+      let classic = Apriori.frequent_of_size db ~support ~size:k in
+      check_int
+        (Printf.sprintf "same count k=%d s=%d" k support)
+        (List.length classic)
+        (R.cardinal flock_result);
+      List.iter
+        (fun f ->
+          let tuple =
+            Array.of_list
+              (List.map (fun i -> V.Int i) (Itemset.to_list f.Apriori.itemset))
+          in
+          check_bool "itemset present in flock result" true
+            (R.mem flock_result tuple))
+        classic)
+    [ 2, 15; 3, 10 ]
+
+let suite =
+  [
+    Alcotest.test_case "itemset normalization" `Quick test_itemset_normalization;
+    Alcotest.test_case "itemset operations" `Quick test_itemset_ops;
+    Alcotest.test_case "itemset join" `Quick test_itemset_join;
+    Alcotest.test_case "drop_one" `Quick test_drop_one;
+    Alcotest.test_case "mine levels" `Quick test_mine_levels;
+    Alcotest.test_case "mine with high support" `Quick test_mine_high_support;
+    Alcotest.test_case "candidate pruning" `Quick test_candidate_pruning;
+    Alcotest.test_case "db_of_relation" `Quick test_db_of_relation;
+    Alcotest.test_case "association rules" `Quick test_rules;
+    Alcotest.test_case "classic = levelwise flock plan" `Quick
+      test_classic_vs_flock;
+  ]

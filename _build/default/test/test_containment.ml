@@ -1,0 +1,167 @@
+(* Containment mappings (Chandra-Merlin, paper Sec. 3.1). *)
+open Qf_datalog
+
+let check_bool = Alcotest.(check bool)
+
+let rule text =
+  match Parser.parse_rule text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" text e
+
+let test_subgoal_deletion_contains () =
+  (* Deleting a subgoal yields a containing query. *)
+  let full = rule "answer(B) :- baskets(B,$1) AND baskets(B,$2)" in
+  let sub1 = rule "answer(B) :- baskets(B,$1)" in
+  check_bool "sub1 contains full" true
+    (Containment.positive_contains ~sup:sub1 ~sub:full);
+  check_bool "full does not contain sub1" false
+    (Containment.positive_contains ~sup:full ~sub:sub1)
+
+let test_identity_containment () =
+  let q = rule "answer(X) :- p(X,Y) AND q(Y,Z)" in
+  check_bool "reflexive" true (Containment.positive_contains ~sup:q ~sub:q);
+  check_bool "equivalent to itself" true (Containment.equivalent q q)
+
+let test_variable_renaming_equivalence () =
+  let a = rule "answer(X) :- p(X,Y)" in
+  let b = rule "answer(U) :- p(U,W)" in
+  check_bool "alpha-equivalent" true (Containment.equivalent a b)
+
+let test_classic_redundant_subgoal () =
+  (* p(X,Y) AND p(X,Z) is equivalent to p(X,Y): the redundant subgoal folds. *)
+  let redundant = rule "answer(X) :- p(X,Y) AND p(X,Z)" in
+  let minimal = rule "answer(X) :- p(X,Y)" in
+  check_bool "minimal contains redundant" true
+    (Containment.positive_contains ~sup:minimal ~sub:redundant);
+  check_bool "redundant contains minimal" true
+    (Containment.positive_contains ~sup:redundant ~sub:minimal);
+  check_bool "equivalent" true (Containment.equivalent redundant minimal)
+
+let test_constants_are_rigid () =
+  let general = rule "answer(X) :- p(X,Y)" in
+  let specific = rule "answer(X) :- p(X,3)" in
+  check_bool "general contains specific" true
+    (Containment.positive_contains ~sup:general ~sub:specific);
+  check_bool "specific does not contain general" false
+    (Containment.positive_contains ~sup:specific ~sub:general)
+
+let test_params_are_rigid () =
+  (* $a cannot map to $b: parameters are distinguished. *)
+  let qa = rule "answer(X) :- p(X,$a) AND p(X,$b)" in
+  let qb = rule "answer(X) :- p(X,$a)" in
+  check_bool "deleting the $b subgoal contains" true
+    (Containment.positive_contains ~sup:qb ~sub:qa);
+  let qc = rule "answer(X) :- p(X,$b)" in
+  check_bool "$b-subquery also contains (matches its own subgoal)" true
+    (Containment.positive_contains ~sup:qc ~sub:qa);
+  check_bool "$a-subquery does not contain a query lacking $a" false
+    (Containment.positive_contains ~sup:qb ~sub:qc)
+
+let test_head_must_map () =
+  let a = rule "answer(X) :- p(X,Y)" in
+  let b = rule "answer(Y) :- p(X,Y)" in
+  (* b asks for second components; a for first: neither contains other in
+     general.  (A mapping X->X',Y->Y' must send a's head X to b's head Y,
+     forcing p(Y,?) to match p(X,Y), impossible.) *)
+  check_bool "no containment a over b" false
+    (Containment.positive_contains ~sup:a ~sub:b);
+  check_bool "no containment b over a" false
+    (Containment.positive_contains ~sup:b ~sub:a)
+
+let test_path_containment () =
+  (* A shorter path query contains a longer one. *)
+  let two = rule "answer(X) :- arc(X,Y) AND arc(Y,Z)" in
+  let one = rule "answer(X) :- arc(X,Y)" in
+  check_bool "1-path contains 2-path" true
+    (Containment.positive_contains ~sup:one ~sub:two);
+  check_bool "2-path does not contain 1-path" false
+    (Containment.positive_contains ~sup:two ~sub:one)
+
+let test_extended_contains () =
+  let full =
+    rule
+      "answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)"
+  in
+  let no_neg = rule "answer(P) :- exhibits(P,$s) AND diagnoses(P,D)" in
+  check_bool "dropping the negation contains" true
+    (Containment.contains ~sup:no_neg ~sub:full);
+  (* The converse fails: sup's negation has no image in sub. *)
+  check_bool "negation blocks reverse containment" false
+    (Containment.contains ~sup:full ~sub:no_neg)
+
+let test_extended_with_cmp () =
+  let full = rule "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2" in
+  let no_cmp = rule "answer(B) :- baskets(B,$1) AND baskets(B,$2)" in
+  check_bool "dropping the comparison contains" true
+    (Containment.contains ~sup:no_cmp ~sub:full);
+  check_bool "comparison blocks reverse" false
+    (Containment.contains ~sup:full ~sub:no_cmp)
+
+let test_minimize_redundant () =
+  let redundant = rule "answer(X) :- p(X,Y) AND p(X,Z)" in
+  let minimized = Containment.minimize redundant in
+  Alcotest.(check int)
+    "one subgoal remains" 1
+    (List.length minimized.Qf_datalog.Ast.body);
+  check_bool "equivalent to the input" true
+    (Containment.equivalent redundant minimized)
+
+let test_minimize_chain_with_shortcut () =
+  (* p(X,Y) AND p(X,X): the first subgoal folds into the second only if Y
+     can map to X — it can, so the minimal form keeps p(X,X) alone. *)
+  let q = rule "answer(X) :- p(X,Y) AND p(X,X)" in
+  let m = Containment.minimize q in
+  Alcotest.(check int) "folds to the loop subgoal" 1 (List.length m.Qf_datalog.Ast.body);
+  check_bool "still equivalent" true (Containment.equivalent q m)
+
+let test_minimize_keeps_needed_subgoals () =
+  let q = rule "answer(X) :- p(X,Y) AND q(Y,Z)" in
+  let m = Containment.minimize q in
+  Alcotest.(check int) "nothing removable" 2 (List.length m.Qf_datalog.Ast.body)
+
+let test_minimize_respects_safety_and_negation () =
+  (* diagnoses is redundant for the positive part only if D maps somewhere,
+     but the negated subgoal needs D positively bound: minimize must keep
+     it. *)
+  let q =
+    rule
+      "answer(P) :- exhibits(P,$s) AND diagnoses(P,D) AND NOT causes(D,$s)"
+  in
+  let m = Containment.minimize q in
+  Alcotest.(check int) "all three subgoals kept" 3
+    (List.length m.Qf_datalog.Ast.body)
+
+let test_minimize_params_block_folding () =
+  (* p(X,$a) and p(X,$b) cannot fold: parameters are rigid. *)
+  let q = rule "answer(X) :- p(X,$a) AND p(X,$b)" in
+  let m = Containment.minimize q in
+  Alcotest.(check int) "both parameter subgoals kept" 2
+    (List.length m.Qf_datalog.Ast.body)
+
+let suite =
+  [
+    Alcotest.test_case "subgoal deletion contains" `Quick
+      test_subgoal_deletion_contains;
+    Alcotest.test_case "minimize redundant subgoal" `Quick
+      test_minimize_redundant;
+    Alcotest.test_case "minimize folds onto loop" `Quick
+      test_minimize_chain_with_shortcut;
+    Alcotest.test_case "minimize keeps needed subgoals" `Quick
+      test_minimize_keeps_needed_subgoals;
+    Alcotest.test_case "minimize respects safety/negation" `Quick
+      test_minimize_respects_safety_and_negation;
+    Alcotest.test_case "minimize: params are rigid" `Quick
+      test_minimize_params_block_folding;
+    Alcotest.test_case "identity containment" `Quick test_identity_containment;
+    Alcotest.test_case "alpha equivalence" `Quick test_variable_renaming_equivalence;
+    Alcotest.test_case "redundant subgoal folds" `Quick
+      test_classic_redundant_subgoal;
+    Alcotest.test_case "constants are rigid" `Quick test_constants_are_rigid;
+    Alcotest.test_case "parameters are rigid" `Quick test_params_are_rigid;
+    Alcotest.test_case "head must map" `Quick test_head_must_map;
+    Alcotest.test_case "path queries" `Quick test_path_containment;
+    Alcotest.test_case "extended: negation side-condition" `Quick
+      test_extended_contains;
+    Alcotest.test_case "extended: arithmetic side-condition" `Quick
+      test_extended_with_cmp;
+  ]

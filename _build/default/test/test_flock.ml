@@ -1,0 +1,231 @@
+(* Query-flock semantics: parsing whole programs, the reference
+   (generate-and-test) evaluator, and direct evaluation — on the paper's
+   running examples. *)
+open Qf_core
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Fig. 2's flock with a small threshold for hand-checkable data. *)
+let baskets_program threshold =
+  Printf.sprintf
+    {|QUERY:
+answer(B) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    $1 < $2
+FILTER:
+COUNT(answer.B) >= %d|}
+    threshold
+
+let basket_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add cat "baskets"
+    (R.of_values [ "BID"; "Item" ]
+       V.[
+         [ Int 1; Str "beer" ]; [ Int 1; Str "diapers" ];
+         [ Int 2; Str "beer" ]; [ Int 2; Str "diapers" ];
+         [ Int 3; Str "beer" ]; [ Int 3; Str "chips" ];
+         [ Int 4; Str "beer" ]; [ Int 4; Str "diapers" ]; [ Int 4; Str "chips" ];
+         [ Int 5; Str "chips" ]; [ Int 5; Str "diapers" ];
+       ]);
+  cat
+
+(* Fig. 3's medical flock. *)
+let medical_program =
+  {|QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= 2|}
+
+let medical_catalog () =
+  let cat = Catalog.create () in
+  (* Disease 1 causes symptom 10; disease 2 causes symptom 20.
+     Medicine 100 produces unexplained symptom 20 in patients 1,2 (disease 1). *)
+  Catalog.add cat "diagnoses"
+    (R.of_values [ "Patient"; "Disease" ]
+       V.[ [ Int 1; Int 1 ]; [ Int 2; Int 1 ]; [ Int 3; Int 2 ] ]);
+  Catalog.add cat "causes"
+    (R.of_values [ "Disease"; "Symptom" ]
+       V.[ [ Int 1; Int 10 ]; [ Int 2; Int 20 ] ]);
+  Catalog.add cat "exhibits"
+    (R.of_values [ "Patient"; "Symptom" ]
+       V.[
+         [ Int 1; Int 10 ]; [ Int 1; Int 20 ];
+         [ Int 2; Int 10 ]; [ Int 2; Int 20 ];
+         [ Int 3; Int 20 ];
+       ]);
+  Catalog.add cat "treatments"
+    (R.of_values [ "Patient"; "Medicine" ]
+       V.[ [ Int 1; Int 100 ]; [ Int 2; Int 100 ]; [ Int 3; Int 200 ] ]);
+  cat
+
+let test_parse_program () =
+  let flock = Parse.flock_exn (baskets_program 3) in
+  check_int "one rule" 1 (Flock.rule_count flock);
+  Alcotest.(check (list string)) "params" [ "1"; "2" ] (Flock.params flock);
+  Alcotest.(check string) "head" "answer" (Flock.head_name flock)
+
+let test_parse_program_errors () =
+  check_bool "missing FILTER" true
+    (Result.is_error (Parse.flock "QUERY:\nanswer(B) :- baskets(B,$1)"));
+  check_bool "unknown aggregate" true
+    (Result.is_error
+       (Parse.flock
+          "QUERY:\nanswer(B) :- baskets(B,$1)\nFILTER:\nAVG(answer.B) >= 2"));
+  check_bool "aggregate over wrong head" true
+    (Result.is_error
+       (Parse.flock
+          "QUERY:\nanswer(B) :- baskets(B,$1)\nFILTER:\nCOUNT(other.B) >= 2"));
+  check_bool "sum needs a column" true
+    (Result.is_error
+       (Parse.flock
+          "QUERY:\nanswer(B) :- baskets(B,$1)\nFILTER:\nSUM(answer(*)) >= 2"));
+  check_bool "no parameters rejected" true
+    (Result.is_error
+       (Parse.flock "QUERY:\nanswer(B) :- baskets(B,Item)\nFILTER:\nCOUNT(answer.B) >= 2"))
+
+let test_flock_print_parse_roundtrip () =
+  let flock = Parse.flock_exn medical_program in
+  let reparsed = Parse.flock_exn (Flock.to_string flock) in
+  check_bool "roundtrip" true (Flock.equal flock reparsed)
+
+let test_direct_baskets () =
+  let cat = basket_catalog () in
+  let flock = Parse.flock_exn (baskets_program 3) in
+  let result = Direct.run cat flock in
+  (* beer+diapers in baskets 1,2,4 = 3; chips+diapers in 4,5 = 2; beer+chips
+     in 3,4 = 2.  Only (beer, diapers) passes. *)
+  check_int "one pair" 1 (R.cardinal result);
+  check_bool "beer-diapers" true
+    (R.mem result [| V.Str "beer"; V.Str "diapers" |])
+
+let test_direct_threshold_2 () =
+  let cat = basket_catalog () in
+  let flock = Parse.flock_exn (baskets_program 2) in
+  let result = Direct.run cat flock in
+  check_int "three pairs at support 2" 3 (R.cardinal result)
+
+let test_naive_matches_direct () =
+  let cat = basket_catalog () in
+  List.iter
+    (fun threshold ->
+      let flock = Parse.flock_exn (baskets_program threshold) in
+      Alcotest.check Test_util.relation
+        (Printf.sprintf "threshold %d" threshold)
+        (Direct.run cat flock) (Naive.run cat flock))
+    [ 1; 2; 3; 4 ]
+
+let test_medical_direct () =
+  let cat = medical_catalog () in
+  let flock = Parse.flock_exn medical_program in
+  let result = Direct.run cat flock in
+  (* Patients 1,2: symptom 20 unexplained (disease 1 causes only 10), both on
+     medicine 100. Symptom 10 is explained for them.  Patient 3's symptom 20
+     is explained by disease 2. *)
+  check_int "one side effect" 1 (R.cardinal result);
+  check_bool "(m=100, s=20)" true (R.mem result [| V.Int 100; V.Int 20 |]);
+  Alcotest.check Test_util.relation "naive agrees" result (Naive.run cat flock)
+
+let test_medical_result_columns () =
+  let flock = Parse.flock_exn medical_program in
+  Alcotest.(check (list string))
+    "result columns sorted" [ "$m"; "$s" ] (Flock.result_columns flock)
+
+let test_union_flock_webwords () =
+  (* Tiny Fig. 4 instance: words 1,2 co-occur in title of doc 1 and via
+     anchor 10 -> doc 1. *)
+  let cat = Catalog.create () in
+  Catalog.add cat "inTitle"
+    (R.of_values [ "D"; "W" ]
+       V.[ [ Int 1; Int 1 ]; [ Int 1; Int 2 ]; [ Int 2; Int 2 ] ]);
+  Catalog.add cat "inAnchor"
+    (R.of_values [ "A"; "W" ] V.[ [ Int 10; Int 1 ]; [ Int 11; Int 2 ] ]);
+  Catalog.add cat "link"
+    (R.of_values [ "A"; "D1"; "D2" ]
+       V.[ [ Int 10; Int 2; Int 1 ]; [ Int 11; Int 2; Int 1 ] ]);
+  let flock =
+    Parse.flock_exn
+      {|QUERY:
+answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2
+answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1) AND $1 < $2
+FILTER:
+COUNT(answer(*)) >= 3|}
+  in
+  let result = Direct.run cat flock in
+  (* (1,2): title doc1 (1) + anchor10(word1)->doc1 title word2 (1) + anchor11
+     (word2)->doc1 title word1 (1) = 3 sources. *)
+  check_int "one pair" 1 (R.cardinal result);
+  check_bool "(1,2)" true (R.mem result [| V.Int 1; V.Int 2 |]);
+  Alcotest.check Test_util.relation "naive agrees on unions" result
+    (Naive.run cat flock)
+
+let test_weighted_sum_filter () =
+  (* Fig. 10: weighted baskets. *)
+  let cat = basket_catalog () in
+  Catalog.add cat "importance"
+    (R.of_values [ "BID"; "W" ]
+       V.[
+         [ Int 1; Int 10 ]; [ Int 2; Int 1 ]; [ Int 3; Int 1 ];
+         [ Int 4; Int 1 ]; [ Int 5; Int 10 ];
+       ]);
+  let flock =
+    Parse.flock_exn
+      {|QUERY:
+answer(B,W) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    importance(B,W) AND
+    $1 < $2
+FILTER:
+SUM(answer.W) >= 11|}
+  in
+  let result = Direct.run cat flock in
+  (* beer+diapers: baskets 1,2,4 weights 10+1+1=12 >= 11.
+     chips+diapers: 4,5 -> 1+10=11 >= 11. beer+chips: 3,4 -> 2. *)
+  check_int "two weighted pairs" 2 (R.cardinal result);
+  check_bool "beer-diapers" true (R.mem result [| V.Str "beer"; V.Str "diapers" |]);
+  check_bool "chips-diapers" true (R.mem result [| V.Str "chips"; V.Str "diapers" |]);
+  Alcotest.check Test_util.relation "naive agrees on SUM" result
+    (Naive.run cat flock)
+
+let test_naive_assignment_cap () =
+  let cat = basket_catalog () in
+  let flock = Parse.flock_exn (baskets_program 2) in
+  Alcotest.check_raises "cap enforced"
+    (Invalid_argument "Naive.run: 9 assignments exceed the limit of 4")
+    (fun () -> ignore (Naive.run ~max_assignments:4 cat flock))
+
+let test_filter_monotonicity () =
+  check_bool "count monotone" true (Filter.is_monotone (Filter.count_at_least 5));
+  check_bool "sum monotone" true (Filter.is_monotone (Filter.sum_at_least "W" 5.));
+  check_bool "max monotone" true
+    (Filter.is_monotone { Filter.agg = Max "W"; threshold = 5. });
+  check_bool "min not monotone" false
+    (Filter.is_monotone { Filter.agg = Min "W"; threshold = 5. })
+
+let suite =
+  [
+    Alcotest.test_case "parse flock program" `Quick test_parse_program;
+    Alcotest.test_case "parse program errors" `Quick test_parse_program_errors;
+    Alcotest.test_case "flock print/parse roundtrip" `Quick
+      test_flock_print_parse_roundtrip;
+    Alcotest.test_case "Fig. 2 direct evaluation" `Quick test_direct_baskets;
+    Alcotest.test_case "threshold sensitivity" `Quick test_direct_threshold_2;
+    Alcotest.test_case "naive = direct (baskets)" `Quick test_naive_matches_direct;
+    Alcotest.test_case "Fig. 3 medical side effects" `Quick test_medical_direct;
+    Alcotest.test_case "result columns" `Quick test_medical_result_columns;
+    Alcotest.test_case "Fig. 4 union flock" `Quick test_union_flock_webwords;
+    Alcotest.test_case "Fig. 10 weighted SUM filter" `Quick
+      test_weighted_sum_filter;
+    Alcotest.test_case "naive assignment cap" `Quick test_naive_assignment_cap;
+    Alcotest.test_case "filter monotonicity" `Quick test_filter_monotonicity;
+  ]

@@ -1,0 +1,216 @@
+(* Plan generation (Apriori_gen), cost model, and the static optimizer. *)
+open Qf_core
+module Ast = Qf_datalog.Ast
+module Catalog = Qf_relational.Catalog
+module R = Qf_relational.Relation
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let market_catalog () =
+  Qf_workload.Market.catalog
+    { Qf_workload.Market.default with n_baskets = 400; n_items = 120; seed = 2 }
+
+let test_basket_flock_shape () =
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:3 ~support:10 in
+  check_int "one rule" 1 (Flock.rule_count flock);
+  Alcotest.(check (list string)) "params" [ "1"; "2"; "3" ] (Flock.params flock);
+  let body = (List.hd flock.Flock.query).Ast.body in
+  (* 3 atoms + 3 pairwise comparisons *)
+  check_int "body size" 6 (List.length body)
+
+let test_basket_flock_bounds () =
+  Alcotest.check_raises "k too large"
+    (Invalid_argument "basket_flock: k must be in 1..9") (fun () ->
+      ignore (Apriori_gen.basket_flock ~pred:"b" ~k:10 ~support:1))
+
+let test_singleton_plan_structure () =
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:10 in
+  match Apriori_gen.singleton_plan flock with
+  | Error e -> Alcotest.failf "singleton: %s" e
+  | Ok plan ->
+    check_int "two filter steps" 2 (Plan.filter_step_count plan);
+    Alcotest.(check string)
+      "summary" "ok_1($1) -> ok_2($2) -> result($1,$2)"
+      (Explain.plan_summary plan)
+
+let test_param_set_plan_errors () =
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:10 in
+  check_bool "unknown param" true
+    (Result.is_error (Apriori_gen.param_set_plan flock ~param_sets:[ [ "zz" ] ]));
+  check_bool "empty set" true
+    (Result.is_error (Apriori_gen.param_set_plan flock ~param_sets:[ [] ]))
+
+let test_levelwise_structure () =
+  let _, plan = Apriori_gen.levelwise_basket ~pred:"baskets" ~k:3 ~support:10 in
+  check_int "k-1 levels" 2 (Plan.filter_step_count plan);
+  (* Level 2 must prune with BOTH 1-subsets; level 3 (final) with all three
+     2-subsets. *)
+  let step2 = List.nth (Plan.all_steps plan) 1 in
+  let ok_atoms =
+    List.filter
+      (function
+        | Ast.Pos a -> a.Ast.pred = "ok_1"
+        | _ -> false)
+      (List.hd step2.Plan.query).Ast.body
+  in
+  check_int "two ok_1 prunes at level 2" 2 (List.length ok_atoms);
+  let final = List.nth (Plan.all_steps plan) 2 in
+  let ok2_atoms =
+    List.filter
+      (function
+        | Ast.Pos a -> a.Ast.pred = "ok_1_2"
+        | _ -> false)
+      (List.hd final.Plan.query).Ast.body
+  in
+  check_int "three ok_1_2 prunes at level 3" 3 (List.length ok2_atoms)
+
+let test_levelwise_equivalence () =
+  let cat = market_catalog () in
+  List.iter
+    (fun (k, support) ->
+      let flock, plan = Apriori_gen.levelwise_basket ~pred:"baskets" ~k ~support in
+      Alcotest.check Test_util.relation
+        (Printf.sprintf "k=%d support=%d" k support)
+        (Direct.run cat flock) (Plan_exec.run cat plan))
+    [ 2, 20; 2, 60; 3, 20 ]
+
+let test_chain_plan_structure_and_equivalence () =
+  let cat =
+    Qf_workload.Graph.generate
+      { Qf_workload.Graph.default with n_nodes = 120; max_out_degree = 25; seed = 4 }
+  in
+  let flock = Qf_workload.Graph.path_flock ~n:2 ~support:10 in
+  let plan = Qf_workload.Graph.chain_plan flock ~n:2 in
+  check_int "n steps before final" 2 (Plan.filter_step_count plan);
+  Alcotest.check Test_util.relation "chain plan = direct" (Direct.run cat flock)
+    (Plan_exec.run cat plan)
+
+let test_chain_plan_rejects_union () =
+  let flock =
+    Parse.flock_exn
+      "QUERY:\nanswer(X) :- arc(X,$a)\nanswer(X) :- arc($a,X)\nFILTER:\nCOUNT(answer.X) >= 1"
+  in
+  check_bool "union rejected" true
+    (Result.is_error (Apriori_gen.chain_plan flock ~prefixes:[ [ 0 ] ]))
+
+let test_cost_model_sanity () =
+  let cat = market_catalog () in
+  let env = Cost.of_catalog cat in
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:20 in
+  let rule = List.hd flock.Flock.query in
+  let est = Cost.estimate_rule env rule in
+  check_bool "positive work" true (est.Cost.work > 0.);
+  check_bool "positive rows" true (est.Cost.rows > 0.);
+  (* A subquery costs no more than the full query under the model. *)
+  let sub =
+    match Qf_datalog.Subquery.minimal_for_params rule [ "1" ] with
+    | Some c -> c.Qf_datalog.Subquery.rule
+    | None -> Alcotest.fail "no candidate"
+  in
+  let est_sub = Cost.estimate_rule env sub in
+  check_bool "subquery is cheaper" true (est_sub.Cost.work <= est.Cost.work)
+
+let test_cost_groups () =
+  let cat = market_catalog () in
+  let env = Cost.of_catalog cat in
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:20 in
+  let groups = Cost.estimate_groups env flock.Flock.query [ "1"; "2" ] in
+  let items = float_of_int (List.length (R.column_values (Catalog.find cat "baskets") "Item")) in
+  Alcotest.(check (float 1.)) "groups = items^2" (items *. items) groups
+
+let test_cost_exact_survivors () =
+  (* For a single-subgoal single-parameter COUNT step, the model's survivor
+     estimate must equal the exact frequency-distribution count. *)
+  let cat = market_catalog () in
+  let env = Cost.of_catalog cat in
+  let rule =
+    match Qf_datalog.Parser.parse_rule "answer(B) :- baskets(B,$1)" with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let step = Plan.step ~name:"ok_1" [ rule ] in
+  let stats = Catalog.stats cat "baskets" in
+  List.iter
+    (fun threshold ->
+      let _, out = Cost.estimate_step env ~threshold:(float_of_int threshold) step in
+      let exact =
+        Qf_relational.Statistics.count_at_least stats "Item" threshold
+      in
+      Alcotest.(check (float 0.5))
+        (Printf.sprintf "survivors at %d" threshold)
+        (float_of_int (max 1 exact))
+        out.Cost.rows)
+    [ 1; 5; 20; 60; 10_000 ]
+
+let test_optimizer_returns_correct_plan () =
+  let cat = market_catalog () in
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:20 in
+  let plan = Optimizer.optimize cat flock in
+  Alcotest.check Test_util.relation "optimized plan = direct"
+    (Direct.run cat flock) (Plan_exec.run cat plan)
+
+let test_optimizer_enumerates_trivial () =
+  let cat = market_catalog () in
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:20 in
+  let choices = Optimizer.enumerate cat flock in
+  check_bool "at least 4 alternatives" true (List.length choices >= 4);
+  check_bool "includes the trivial plan" true
+    (List.exists (fun c -> c.Optimizer.param_sets = []) choices);
+  (* Sorted by cost ascending. *)
+  let costs = List.map (fun c -> c.Optimizer.cost) choices in
+  check_bool "sorted" true (List.sort compare costs = costs)
+
+let test_optimizer_prefers_filters_on_skewed_data () =
+  (* With Zipf items and a high threshold, filter steps should win under the
+     model. *)
+  let cat =
+    Qf_workload.Market.catalog
+      { Qf_workload.Market.default with n_baskets = 800; n_items = 400;
+        zipf_exponent = 1.2; seed = 9 }
+  in
+  let flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:40 in
+  match Optimizer.enumerate cat flock with
+  | [] -> Alcotest.fail "no choices"
+  | best :: _ ->
+    check_bool "best plan uses at least one filter step" true
+      (best.Optimizer.param_sets <> [])
+
+let test_optimizer_non_monotone_fallback () =
+  let cat = market_catalog () in
+  let rule =
+    match Qf_datalog.Parser.parse_rule "answer(B) :- baskets(B,$1)" with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  let flock = Flock.make_exn [ rule ] { Filter.agg = Min "B"; threshold = 0. } in
+  let choices = Optimizer.enumerate cat flock in
+  check_int "only the trivial plan" 1 (List.length choices)
+
+let suite =
+  [
+    Alcotest.test_case "basket flock shape" `Quick test_basket_flock_shape;
+    Alcotest.test_case "basket flock bounds" `Quick test_basket_flock_bounds;
+    Alcotest.test_case "singleton plan structure" `Quick
+      test_singleton_plan_structure;
+    Alcotest.test_case "param_set_plan errors" `Quick test_param_set_plan_errors;
+    Alcotest.test_case "levelwise structure (footnote 3)" `Quick
+      test_levelwise_structure;
+    Alcotest.test_case "levelwise plan = direct" `Quick test_levelwise_equivalence;
+    Alcotest.test_case "chain plan (Fig. 7)" `Quick
+      test_chain_plan_structure_and_equivalence;
+    Alcotest.test_case "chain plan rejects unions" `Quick
+      test_chain_plan_rejects_union;
+    Alcotest.test_case "cost model sanity" `Quick test_cost_model_sanity;
+    Alcotest.test_case "cost groups estimate" `Quick test_cost_groups;
+    Alcotest.test_case "cost: exact survivor counts" `Quick
+      test_cost_exact_survivors;
+    Alcotest.test_case "optimizer plan = direct" `Quick
+      test_optimizer_returns_correct_plan;
+    Alcotest.test_case "optimizer enumerates alternatives" `Quick
+      test_optimizer_enumerates_trivial;
+    Alcotest.test_case "optimizer prefers filters on skew" `Quick
+      test_optimizer_prefers_filters_on_skewed_data;
+    Alcotest.test_case "optimizer non-monotone fallback" `Quick
+      test_optimizer_non_monotone_fallback;
+  ]

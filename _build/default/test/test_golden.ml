@@ -1,0 +1,120 @@
+(* Golden tests: the explain output reproduces the paper's figures
+   verbatim (modulo our naming conventions). *)
+open Qf_core
+
+let check_string = Alcotest.(check string)
+
+let rule text =
+  match Qf_datalog.Parser.parse_rule text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" text e
+
+(* Fig. 5: the medical plan. *)
+let test_fig5_text () =
+  let flock =
+    Parse.flock_exn
+      {|QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= 20|}
+  in
+  let ok_s = Plan.step ~name:"ok_s" [ rule "answer(P) :- exhibits(P,$s)" ] in
+  let ok_m = Plan.step ~name:"ok_m" [ rule "answer(P) :- treatments(P,$m)" ] in
+  let final =
+    Plan.step ~name:"ok"
+      [
+        rule
+          "answer(P) :- ok_s($s) AND ok_m($m) AND diagnoses(P,D) AND \
+           exhibits(P,$s) AND treatments(P,$m) AND NOT causes(D,$s)";
+      ]
+  in
+  let plan = Plan.make_exn flock ~steps:[ ok_s; ok_m ] ~final in
+  check_string "Fig. 5 rendering"
+    {|ok_s($s) := FILTER(($s),
+    answer(P) :-
+        exhibits(P,$s),
+    COUNT(answer(*)) >= 20
+);
+
+ok_m($m) := FILTER(($m),
+    answer(P) :-
+        treatments(P,$m),
+    COUNT(answer(*)) >= 20
+);
+
+ok($m,$s) := FILTER(($m,$s),
+    answer(P) :-
+        ok_s($s) AND
+        ok_m($m) AND
+        diagnoses(P,D) AND
+        exhibits(P,$s) AND
+        treatments(P,$m) AND
+        NOT causes(D,$s),
+    COUNT(answer(*)) >= 20
+);|}
+    (Explain.plan_to_string plan)
+
+(* Fig. 7: the chain plan for the path flock, n = 2. *)
+let test_fig7_text () =
+  let flock = Qf_workload.Graph.path_flock ~n:2 ~support:20 in
+  let plan = Qf_workload.Graph.chain_plan flock ~n:2 in
+  check_string "Fig. 7 rendering"
+    {|ok0($1) := FILTER(($1),
+    answer(X) :-
+        arc($1,X),
+    COUNT(answer(*)) >= 20
+);
+
+ok1($1) := FILTER(($1),
+    answer(X) :-
+        ok0($1) AND
+        arc($1,X) AND
+        arc(X,Y1),
+    COUNT(answer(*)) >= 20
+);
+
+result($1) := FILTER(($1),
+    answer(X) :-
+        arc($1,X) AND
+        arc(X,Y1) AND
+        arc(Y1,Y2) AND
+        ok1($1),
+    COUNT(answer(*)) >= 20
+);|}
+    (Explain.plan_to_string plan)
+
+(* Fig. 10's flock prints back in the paper's notation. *)
+let test_fig10_text () =
+  let flock =
+    Parse.flock_exn
+      {|QUERY:
+answer(B,W) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    importance(B,W)
+FILTER:
+SUM(answer.W) >= 20|}
+  in
+  check_string "Fig. 10 rendering"
+    {|QUERY:
+
+answer(B,W) :-
+    baskets(B,$1) AND
+    baskets(B,$2) AND
+    importance(B,W)
+
+FILTER:
+
+SUM(answer.W) >= 20|}
+    (Flock.to_string flock)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 5 plan text" `Quick test_fig5_text;
+    Alcotest.test_case "Fig. 7 plan text" `Quick test_fig7_text;
+    Alcotest.test_case "Fig. 10 flock text" `Quick test_fig10_text;
+  ]

@@ -1,0 +1,24 @@
+(* Aggregates every suite; `dune runtest` runs this executable. *)
+let () =
+  Alcotest.run "query_flocks"
+    [
+      "value", Test_value.suite;
+      "relational", Test_relational.suite;
+      "algebra", Test_algebra.suite;
+      "syntax", Test_syntax.suite;
+      "safety", Test_safety.suite;
+      "containment", Test_containment.suite;
+      "eval", Test_eval.suite;
+      "flock", Test_flock.suite;
+      "plan", Test_plan.suite;
+      "dynamic", Test_dynamic.suite;
+      "generation", Test_generation.suite;
+      "apriori", Test_apriori.suite;
+      "workload", Test_workload.suite;
+      "views", Test_views.suite;
+      "sql", Test_sql.suite;
+      "storage", Test_storage.suite;
+      "sequence", Test_sequence.suite;
+      "golden", Test_golden.suite;
+      "properties", Test_props.suite;
+    ]

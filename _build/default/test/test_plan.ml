@@ -1,0 +1,280 @@
+(* FILTER-step plans: the legality rule of Sec. 4.2, plan execution, and the
+   soundness invariant plan-result = direct-result. *)
+open Qf_core
+module Ast = Qf_datalog.Ast
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rule text =
+  match Qf_datalog.Parser.parse_rule text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" text e
+
+let medical_flock threshold =
+  Parse.flock_exn
+    (Printf.sprintf
+       {|QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= %d|}
+       threshold)
+
+let medical_catalog () =
+  (Qf_workload.Medical.generate
+     { Qf_workload.Medical.default with n_patients = 300; seed = 3 })
+    .catalog
+
+(* The Fig. 5 plan, built by hand. *)
+let fig5_plan flock =
+  let ok_s = Plan.step ~name:"ok_s" [ rule "answer(P) :- exhibits(P,$s)" ] in
+  let ok_m = Plan.step ~name:"ok_m" [ rule "answer(P) :- treatments(P,$m)" ] in
+  let final =
+    Plan.step ~name:"result"
+      [
+        rule
+          "answer(P) :- ok_s($s) AND ok_m($m) AND diagnoses(P,D) AND \
+           exhibits(P,$s) AND treatments(P,$m) AND NOT causes(D,$s)";
+      ]
+  in
+  Plan.make flock ~steps:[ ok_s; ok_m ] ~final
+
+let test_fig5_plan_is_legal () =
+  match fig5_plan (medical_flock 20) with
+  | Ok plan -> check_int "two auxiliary steps" 2 (Plan.filter_step_count plan)
+  | Error e -> Alcotest.failf "Fig. 5 plan rejected: %s" e
+
+let test_fig5_plan_equivalent () =
+  let flock = medical_flock 10 in
+  let cat = medical_catalog () in
+  match fig5_plan flock with
+  | Error e -> Alcotest.failf "plan rejected: %s" e
+  | Ok plan ->
+    Alcotest.check Test_util.relation "plan = direct" (Direct.run cat flock)
+      (Plan_exec.run cat plan)
+
+let test_trivial_plan () =
+  let flock = medical_flock 10 in
+  let cat = medical_catalog () in
+  let plan = Plan.trivial flock in
+  check_int "no auxiliary steps" 0 (Plan.filter_step_count plan);
+  Alcotest.check Test_util.relation "trivial = direct" (Direct.run cat flock)
+    (Plan_exec.run cat plan)
+
+let test_final_must_keep_all_subgoals () =
+  let flock = medical_flock 20 in
+  let final =
+    Plan.step ~name:"result"
+      [ rule "answer(P) :- exhibits(P,$s) AND treatments(P,$m)" ]
+  in
+  match Plan.make flock ~steps:[] ~final with
+  | Ok _ -> Alcotest.fail "final step deleting subgoals must be rejected"
+  | Error e ->
+    check_bool "mentions final" true (Test_util.contains ~sub:"final" e)
+
+let test_foreign_subgoal_rejected () =
+  let flock = medical_flock 20 in
+  let bad =
+    Plan.step ~name:"ok_s" [ rule "answer(P) :- exhibits(P,$s) AND other(P)" ]
+  in
+  let final = Plan.step ~name:"result" flock.Flock.query in
+  match Plan.make flock ~steps:[ bad ] ~final with
+  | Ok _ -> Alcotest.fail "foreign subgoal must be rejected"
+  | Error e ->
+    check_bool "mentions subgoal" true (Test_util.contains ~sub:"subgoal" e)
+
+let test_unsafe_step_rejected () =
+  let flock = medical_flock 20 in
+  (* Keeping only the negated subgoal is unsafe (paper Ex. 3.2). *)
+  let bad =
+    Plan.step ~name:"ok_bad" [ rule "answer(P) :- NOT causes(D,$s)" ] in
+  let final = Plan.step ~name:"result" flock.Flock.query in
+  check_bool "unsafe step rejected" true
+    (Result.is_error (Plan.make flock ~steps:[ bad ] ~final))
+
+let test_duplicate_step_names_rejected () =
+  let flock = medical_flock 20 in
+  let s1 = Plan.step ~name:"ok" [ rule "answer(P) :- exhibits(P,$s)" ] in
+  let s2 = Plan.step ~name:"ok" [ rule "answer(P) :- treatments(P,$m)" ] in
+  let final = Plan.step ~name:"result" flock.Flock.query in
+  check_bool "duplicate names rejected" true
+    (Result.is_error (Plan.make flock ~steps:[ s1; s2 ] ~final))
+
+let test_step_shadowing_base_relation_rejected () =
+  let flock = medical_flock 20 in
+  let s = Plan.step ~name:"exhibits" [ rule "answer(P) :- exhibits(P,$s)" ] in
+  let final = Plan.step ~name:"result" flock.Flock.query in
+  check_bool "shadowing rejected" true
+    (Result.is_error (Plan.make flock ~steps:[ s ] ~final))
+
+let test_unknown_ok_subgoal_rejected () =
+  let flock = medical_flock 20 in
+  let final =
+    Plan.step ~name:"result"
+      [
+        rule
+          "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+           diagnoses(P,D) AND NOT causes(D,$s) AND nonexistent($s)";
+      ]
+  in
+  check_bool "unknown ok-subgoal rejected" true
+    (Result.is_error (Plan.make flock ~steps:[] ~final))
+
+let test_renamed_ok_rejected_without_symmetry () =
+  (* ok_s is built from exhibits(P,$s); using it as ok_s($m) would prune
+     medicines by symptom statistics — illegal because the renamed query is
+     not derivable from the flock. *)
+  let flock = medical_flock 20 in
+  let ok_s = Plan.step ~name:"ok_s" [ rule "answer(P) :- exhibits(P,$s)" ] in
+  let final =
+    Plan.step ~name:"result"
+      [
+        rule
+          "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND \
+           diagnoses(P,D) AND NOT causes(D,$s) AND ok_s($m)";
+      ]
+  in
+  check_bool "asymmetric renaming rejected" true
+    (Result.is_error (Plan.make flock ~steps:[ ok_s ] ~final))
+
+let test_renamed_ok_accepted_with_symmetry () =
+  (* In the market-basket flock, baskets(B,$1) and baskets(B,$2) are
+     symmetric, so ok_1 may be applied to $2. *)
+  let flock =
+    Parse.flock_exn
+      {|QUERY:
+answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+FILTER:
+COUNT(answer.B) >= 2|}
+  in
+  let ok_1 = Plan.step ~name:"ok_1" [ rule "answer(B) :- baskets(B,$1)" ] in
+  let final =
+    Plan.step ~name:"result"
+      [
+        rule
+          "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2 AND \
+           ok_1($1) AND ok_1($2)";
+      ]
+  in
+  match Plan.make flock ~steps:[ ok_1 ] ~final with
+  | Ok plan ->
+    (* And it computes the right thing. *)
+    let cat = Catalog.create () in
+    Catalog.add cat "baskets"
+      (R.of_values [ "BID"; "Item" ]
+         V.[
+           [ Int 1; Int 7 ]; [ Int 1; Int 8 ]; [ Int 2; Int 7 ];
+           [ Int 2; Int 8 ]; [ Int 3; Int 7 ]; [ Int 3; Int 9 ];
+         ]);
+    Alcotest.check Test_util.relation "renamed-ok plan = direct"
+      (Direct.run cat flock) (Plan_exec.run cat plan)
+  | Error e -> Alcotest.failf "symmetric renaming rejected: %s" e
+
+let test_non_monotone_filter_rejected () =
+  let flock =
+    Flock.make_exn
+      [ rule "answer(B,W) :- baskets(B,$1) AND importance(B,W)" ]
+      { Filter.agg = Min "W"; threshold = 5. }
+  in
+  let ok_1 = Plan.step ~name:"ok_1" [ rule "answer(B,W) :- baskets(B,$1) AND importance(B,W)" ] in
+  check_bool "MIN filter cannot take pruning steps" true
+    (Result.is_error
+       (Plan.make flock ~steps:[ ok_1 ]
+          ~final:(Plan.step ~name:"result" flock.query)));
+  check_bool "trivial plan is fine for MIN" true
+    (Result.is_ok
+       (Plan.make flock ~steps:[] ~final:(Plan.step ~name:"result" flock.query)))
+
+let test_plan_exec_report () =
+  let flock = medical_flock 10 in
+  let cat = medical_catalog () in
+  match Apriori_gen.singleton_plan flock with
+  | Error e -> Alcotest.failf "singleton plan: %s" e
+  | Ok plan ->
+    let report = Plan_exec.run_with_report cat plan in
+    check_int "one report per step (incl final)"
+      (List.length (Plan.all_steps plan))
+      (List.length report.steps);
+    List.iter
+      (fun (s : Plan_exec.step_report) ->
+        check_bool
+          (Printf.sprintf "%s: survivors <= groups" s.step_name)
+          true
+          (s.survivors <= s.groups))
+      report.steps;
+    Alcotest.check Test_util.relation "report result = direct"
+      (Direct.run cat flock) report.result
+
+let test_singleton_plan_equivalence_medical () =
+  let cat = medical_catalog () in
+  List.iter
+    (fun threshold ->
+      let flock = medical_flock threshold in
+      match Apriori_gen.singleton_plan flock with
+      | Error e -> Alcotest.failf "singleton plan: %s" e
+      | Ok plan ->
+        Alcotest.check Test_util.relation
+          (Printf.sprintf "threshold %d" threshold)
+          (Direct.run cat flock) (Plan_exec.run cat plan))
+    [ 2; 5; 10; 40 ]
+
+let test_pair_step_plan_equivalence () =
+  (* Subquery (4) of paper Ex. 3.2: filter ($s,$m) pairs jointly. *)
+  let flock = medical_flock 8 in
+  let cat = medical_catalog () in
+  match Apriori_gen.param_set_plan flock ~param_sets:[ [ "s"; "m" ] ] with
+  | Error e -> Alcotest.failf "pair plan: %s" e
+  | Ok plan ->
+    Alcotest.check Test_util.relation "pair-step plan = direct"
+      (Direct.run cat flock) (Plan_exec.run cat plan)
+
+let test_explain_output () =
+  let flock = medical_flock 20 in
+  match fig5_plan flock with
+  | Error e -> Alcotest.failf "plan: %s" e
+  | Ok plan ->
+    let text = Explain.plan_to_string plan in
+    check_bool "has FILTER steps" true (Test_util.contains ~sub:":= FILTER((" text);
+    check_bool "names ok_s" true (Test_util.contains ~sub:"ok_s($s)" text);
+    check_bool "prints the filter" true
+      (Test_util.contains ~sub:">= 20" text);
+    Alcotest.(check string)
+      "summary" "ok_s($s) -> ok_m($m) -> result($m,$s)"
+      (Explain.plan_summary plan)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 5 plan is legal" `Quick test_fig5_plan_is_legal;
+    Alcotest.test_case "Fig. 5 plan = direct" `Quick test_fig5_plan_equivalent;
+    Alcotest.test_case "trivial plan" `Quick test_trivial_plan;
+    Alcotest.test_case "final step must keep all subgoals" `Quick
+      test_final_must_keep_all_subgoals;
+    Alcotest.test_case "foreign subgoal rejected" `Quick
+      test_foreign_subgoal_rejected;
+    Alcotest.test_case "unsafe step rejected" `Quick test_unsafe_step_rejected;
+    Alcotest.test_case "duplicate step names rejected" `Quick
+      test_duplicate_step_names_rejected;
+    Alcotest.test_case "step shadowing base relation" `Quick
+      test_step_shadowing_base_relation_rejected;
+    Alcotest.test_case "unknown ok-subgoal rejected" `Quick
+      test_unknown_ok_subgoal_rejected;
+    Alcotest.test_case "asymmetric ok renaming rejected" `Quick
+      test_renamed_ok_rejected_without_symmetry;
+    Alcotest.test_case "symmetric ok renaming accepted" `Quick
+      test_renamed_ok_accepted_with_symmetry;
+    Alcotest.test_case "non-monotone filter rejected" `Quick
+      test_non_monotone_filter_rejected;
+    Alcotest.test_case "plan execution report" `Quick test_plan_exec_report;
+    Alcotest.test_case "singleton plan = direct (sweep)" `Quick
+      test_singleton_plan_equivalence_medical;
+    Alcotest.test_case "pair-step plan = direct" `Quick
+      test_pair_step_plan_equivalence;
+    Alcotest.test_case "explain output" `Quick test_explain_output;
+  ]

@@ -1,0 +1,513 @@
+(* Property-based tests (qcheck): algebraic laws of the relational layer,
+   the core soundness invariant (naive = direct = planned = dynamic) on
+   random flock instances, the subquery upper-bound property, and parser
+   round-trips on random rule ASTs. *)
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+module Ast = Qf_datalog.Ast
+open Qf_core
+
+let gen_small_relation ~columns ~max_value ~max_rows =
+  QCheck.Gen.(
+    let* n = int_range 0 max_rows in
+    let* rows =
+      list_size (return n)
+        (list_size
+           (return (List.length columns))
+           (map (fun i -> V.Int i) (int_range 0 max_value)))
+    in
+    return (R.of_values columns rows))
+
+let pp_relation rel = Format.asprintf "%a" R.pp rel
+
+(* {1 Relational-algebra laws} *)
+
+let arb_two_relations =
+  QCheck.make
+    ~print:(fun (a, b) -> pp_relation a ^ "\n----\n" ^ pp_relation b)
+    QCheck.Gen.(
+      pair
+        (gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:5 ~max_rows:12)
+        (gen_small_relation ~columns:[ "Y"; "Z" ] ~max_value:5 ~max_rows:12))
+
+let prop_semi_anti_partition =
+  QCheck.Test.make ~name:"semi + anti partition the left relation" ~count:200
+    arb_two_relations (fun (a, b) ->
+      let semi = Qf_relational.Join.semi a b [ "Y", "Y" ] in
+      let anti = Qf_relational.Join.anti a b [ "Y", "Y" ] in
+      R.cardinal semi + R.cardinal anti = R.cardinal a
+      && R.equal (R.union semi anti) a)
+
+let prop_join_cardinality_bound =
+  QCheck.Test.make ~name:"equi-join is bounded by the cross product" ~count:200
+    arb_two_relations (fun (a, b) ->
+      R.cardinal (Qf_relational.Join.equi a b [ "Y", "Y" ])
+      <= R.cardinal a * R.cardinal b)
+
+let prop_project_idempotent =
+  QCheck.Test.make ~name:"projection is idempotent" ~count:200
+    (QCheck.make ~print:pp_relation
+       (gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:5 ~max_rows:15))
+    (fun r ->
+      let p = R.project r [ "X" ] in
+      R.equal p (R.project p [ "X" ]))
+
+let prop_group_filter_antitone_in_threshold =
+  QCheck.Test.make
+    ~name:"raising the threshold only removes groups" ~count:200
+    (QCheck.make ~print:pp_relation
+       (gen_small_relation ~columns:[ "G"; "T" ] ~max_value:4 ~max_rows:20))
+    (fun r ->
+      let at t =
+        Qf_relational.Aggregate.group_filter r ~keys:[ "G" ]
+          ~func:Qf_relational.Aggregate.Count ~threshold:t
+      in
+      let low = at 1. and high = at 3. in
+      R.fold (fun tup ok -> ok && R.mem low tup) high true)
+
+(* {1 Flock soundness: all evaluators agree} *)
+
+let gen_basket_instance =
+  QCheck.Gen.(
+    let* n_baskets = int_range 1 10 in
+    let* n_items = int_range 1 6 in
+    let* rows =
+      list_size (int_range 0 40)
+        (pair (int_range 1 n_baskets) (int_range 1 n_items))
+    in
+    let* threshold = int_range 1 4 in
+    let rel =
+      R.of_values [ "BID"; "Item" ]
+        (List.map (fun (b, i) -> [ V.Int b; V.Int i ]) rows)
+    in
+    return (rel, threshold))
+
+let arb_basket_instance =
+  QCheck.make
+    ~print:(fun (rel, t) -> Printf.sprintf "threshold %d\n%s" t (pp_relation rel))
+    gen_basket_instance
+
+let pair_flock threshold =
+  Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:threshold
+
+let catalog_of rel =
+  let cat = Catalog.create () in
+  Catalog.add cat "baskets" rel;
+  cat
+
+let prop_naive_equals_direct =
+  QCheck.Test.make ~name:"naive = direct on random basket instances" ~count:100
+    arb_basket_instance (fun (rel, threshold) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      R.equal (Direct.run cat flock) (Naive.run cat flock))
+
+let prop_plans_equal_direct =
+  QCheck.Test.make ~name:"all legal generated plans = direct" ~count:100
+    arb_basket_instance (fun (rel, threshold) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      let expected = Direct.run cat flock in
+      let singleton =
+        match Apriori_gen.singleton_plan flock with
+        | Ok p -> Plan_exec.run cat p
+        | Error e -> failwith e
+      in
+      let optimized = Plan_exec.run cat (Optimizer.optimize cat flock) in
+      let levelwise =
+        let _, p = Apriori_gen.levelwise_basket ~pred:"baskets" ~k:2 ~support:threshold in
+        Plan_exec.run cat p
+      in
+      R.equal expected singleton && R.equal expected optimized
+      && R.equal expected levelwise)
+
+let prop_dynamic_equals_direct =
+  QCheck.Test.make ~name:"dynamic = direct on random basket instances"
+    ~count:100 arb_basket_instance (fun (rel, threshold) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      match Dynamic.run cat flock with
+      | Ok result -> R.equal (Direct.run cat flock) result.answers
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_union_dynamic_equals_direct =
+  QCheck.Test.make
+    ~name:"union dynamic = direct under aggressive filtering" ~count:80
+    (QCheck.make
+       ~print:(fun (a, b, t) ->
+         Printf.sprintf "threshold %d\n%s\n----\n%s" t (pp_relation a)
+           (pp_relation b))
+       QCheck.Gen.(
+         let* a = gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:4 ~max_rows:15 in
+         let* b = gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:4 ~max_rows:15 in
+         let* t = int_range 1 3 in
+         return (a, b, t)))
+    (fun (a, b, threshold) ->
+      let cat = Catalog.create () in
+      Catalog.add cat "p" a;
+      Catalog.add cat "q" b;
+      let flock =
+        Parse.flock_exn
+          (Printf.sprintf
+             "QUERY:\nanswer(X) :- p(X,$a)\nanswer(X) :- q(X,$a)\nFILTER:\nCOUNT(answer.X) >= %d"
+             threshold)
+      in
+      let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9 } in
+      match Dynamic.run ~config cat flock with
+      | Ok r -> R.equal (Direct.run cat flock) r.answers
+      | Error e -> QCheck.Test.fail_report e)
+
+let prop_executor_options_equal =
+  QCheck.Test.make
+    ~name:"plan executor agrees across all optimization combinations"
+    ~count:60 arb_basket_instance (fun (rel, threshold) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      match Apriori_gen.singleton_plan flock with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok plan ->
+        let run options = Plan_exec.run ~options cat plan in
+        let base =
+          run { Plan_exec.semijoin_reduction = false; symmetric_reuse = false }
+        in
+        List.for_all
+          (fun (sr, su) ->
+            R.equal base
+              (run { Plan_exec.semijoin_reduction = sr; symmetric_reuse = su }))
+          [ false, true; true, false; true, true ])
+
+let prop_storage_roundtrip =
+  QCheck.Test.make ~name:"relations survive the paged store" ~count:40
+    (QCheck.make ~print:pp_relation
+       (gen_small_relation ~columns:[ "X"; "Y"; "Z" ] ~max_value:50 ~max_rows:60))
+    (fun rel ->
+      let path = Filename.temp_file "qfprop" ".qfh" in
+      let file =
+        Qf_storage.Heap_file.create ~capacity:2 path (R.schema rel)
+      in
+      Qf_relational.Relation.iter (Qf_storage.Heap_file.append file) rel;
+      let back = Qf_storage.Heap_file.to_relation file in
+      Qf_storage.Heap_file.close file;
+      Sys.remove path;
+      R.equal rel back)
+
+let prop_fixpoint_transitive_closure =
+  QCheck.Test.make
+    ~name:"semi-naive transitive closure = brute-force closure" ~count:80
+    (QCheck.make ~print:pp_relation
+       (gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:8 ~max_rows:25))
+    (fun edges ->
+      let cat = Catalog.create () in
+      Catalog.add cat "edge" edges;
+      let rule text =
+        match Qf_datalog.Parser.parse_rule text with
+        | Ok r -> r
+        | Error e -> failwith e
+      in
+      match
+        Views.materialize cat
+          [
+            rule "reach(X,Y) :- edge(X,Y)";
+            rule "reach(X,Z) :- reach(X,Y) AND edge(Y,Z)";
+          ]
+      with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok cat' ->
+        let reach = Catalog.find cat' "reach" in
+        (* Brute force: iterate edge-composition to a fixpoint using the
+           plain relational operators. *)
+        let closure = ref edges in
+        let continue = ref true in
+        while !continue do
+          let step =
+            Qf_relational.Join.equi !closure edges [ "Y", "X" ]
+            (* columns: X, Y, Y_2 — keep (X, Y_2) *)
+          in
+          let next =
+            R.fold
+              (fun tup acc ->
+                R.add acc [| tup.(0); tup.(2) |];
+                acc)
+              step (R.union !closure (R.of_values [ "X"; "Y" ] []))
+          in
+          if R.equal next !closure then continue := false else closure := next
+        done;
+        R.equal reach !closure)
+
+(* {1 Subquery upper bound} *)
+
+let count_by_params rel params =
+  let groups =
+    Qf_relational.Aggregate.group_by rel ~keys:params
+      ~func:Qf_relational.Aggregate.Count
+  in
+  List.map
+    (fun (k, v) ->
+      ( k,
+        match v with
+        | V.Real f -> int_of_float f
+        | V.Int n -> n
+        | V.Str _ -> 0 ))
+    groups
+
+let prop_subquery_upper_bound =
+  QCheck.Test.make
+    ~name:"safe subqueries upper-bound per-assignment counts" ~count:100
+    arb_basket_instance (fun (rel, _) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock 1 in
+      let full_rule = List.hd flock.Flock.query in
+      let full_tab = Qf_datalog.Eval.tabulate cat full_rule in
+      let full_counts = count_by_params full_tab [ "$1"; "$2" ] in
+      List.for_all
+        (fun (c : Qf_datalog.Subquery.candidate) ->
+          let sub_tab = Qf_datalog.Eval.tabulate cat c.rule in
+          let keys = List.map (fun p -> "$" ^ p) c.params in
+          let sub_counts = count_by_params sub_tab keys in
+          (* Every full-query assignment's count is bounded by the
+             subquery's count for the projected parameters. *)
+          List.for_all
+            (fun (full_key, full_n) ->
+              let positions =
+                List.map
+                  (fun key ->
+                    match key with
+                    | "$1" -> 0
+                    | "$2" -> 1
+                    | _ -> assert false)
+                  keys
+              in
+              let projected = Qf_relational.Tuple.project positions full_key in
+              match
+                List.find_opt
+                  (fun (k, _) -> Qf_relational.Tuple.equal k projected)
+                  sub_counts
+              with
+              | Some (_, sub_n) -> sub_n >= full_n
+              | None -> false)
+            full_counts)
+        (Qf_datalog.Subquery.enumerate full_rule))
+
+(* {1 Evaluator vs brute-force reference on random safe extended rules} *)
+
+(* A random catalog over a tiny value universe, so the reference
+   evaluator's assignment space stays small. *)
+let gen_tiny_catalog =
+  QCheck.Gen.(
+    let* p = gen_small_relation ~columns:[ "A"; "B" ] ~max_value:3 ~max_rows:10 in
+    let* q = gen_small_relation ~columns:[ "A" ] ~max_value:3 ~max_rows:5 in
+    let* r = gen_small_relation ~columns:[ "A"; "B" ] ~max_value:3 ~max_rows:10 in
+    let cat = Catalog.create () in
+    Catalog.add cat "p" p;
+    Catalog.add cat "q" q;
+    Catalog.add cat "r" r;
+    return cat)
+
+(* Random safe extended rules: positive atoms bind; negations, comparisons,
+   and the head only use bound terms. *)
+let gen_safe_rule =
+  QCheck.Gen.(
+    let var_pool = [ "X"; "Y"; "Z" ] and param_pool = [ "a"; "b" ] in
+    let gen_fresh_term =
+      frequency
+        [
+          4, map (fun v -> Ast.Var v) (oneofl var_pool);
+          2, map (fun p -> Ast.Param p) (oneofl param_pool);
+          1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 3);
+        ]
+    in
+    let gen_pos =
+      let* pred = oneofl [ "p", 2; "q", 1; "r", 2 ] in
+      let name, arity = pred in
+      let* args = list_size (return arity) gen_fresh_term in
+      return { Ast.pred = name; args }
+    in
+    let* n_pos = int_range 1 3 in
+    let* pos_atoms = list_size (return n_pos) gen_pos in
+    let bound =
+      List.concat_map
+        (fun (a : Ast.atom) ->
+          List.filter_map
+            (function
+              | (Ast.Var _ | Ast.Param _) as t -> Some t
+              | Ast.Const _ -> None)
+            a.args)
+        pos_atoms
+    in
+    let gen_bound_term =
+      if bound = [] then map (fun i -> Ast.Const (V.Int i)) (int_range 0 3)
+      else
+        frequency
+          [
+            3, oneofl bound;
+            1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 3);
+          ]
+    in
+    let* negs =
+      list_size (int_range 0 1)
+        (let* pred = oneofl [ "p", 2; "r", 2 ] in
+         let name, arity = pred in
+         let* args = list_size (return arity) gen_bound_term in
+         return (Ast.Neg { Ast.pred = name; args }))
+    in
+    let* cmps =
+      list_size (int_range 0 2)
+        (let* l = gen_bound_term in
+         let* c = oneofl Ast.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+         let* rt = gen_bound_term in
+         return (Ast.Cmp (l, c, rt)))
+    in
+    let bound_vars =
+      List.filter_map (function Ast.Var v -> Some v | _ -> None) bound
+      |> List.sort_uniq String.compare
+    in
+    let* head_args =
+      match bound_vars with
+      | [] -> return [ Ast.Const (V.Int 0) ]
+      | vs ->
+        let* k = int_range 1 (min 2 (List.length vs)) in
+        let* picked = list_size (return k) (oneofl vs) in
+        return (List.map (fun v -> Ast.Var v) picked)
+    in
+    return
+      {
+        Ast.head = { Ast.pred = "answer"; args = head_args };
+        body = List.map (fun a -> Ast.Pos a) pos_atoms @ negs @ cmps;
+      })
+
+let arb_rule_and_catalog =
+  QCheck.make
+    ~print:(fun (rule, _) -> Qf_datalog.Pretty.rule_to_string rule)
+    QCheck.Gen.(pair gen_safe_rule gen_tiny_catalog)
+
+let prop_eval_matches_reference =
+  QCheck.Test.make
+    ~name:"evaluator = brute-force reference on random safe rules" ~count:300
+    arb_rule_and_catalog (fun (rule, catalog) ->
+      assert (Qf_datalog.Safety.is_safe rule);
+      let fast = Qf_datalog.Eval.tabulate catalog rule in
+      let slow = Qf_datalog.Reference.tabulate catalog rule in
+      R.equal fast slow)
+
+let prop_minimize_preserves_semantics =
+  QCheck.Test.make
+    ~name:"CQ minimization preserves evaluation on random rules" ~count:200
+    arb_rule_and_catalog (fun (rule, catalog) ->
+      let minimized = Qf_datalog.Containment.minimize rule in
+      List.length minimized.Ast.body <= List.length rule.Ast.body
+      && R.equal
+           (Qf_datalog.Eval.tabulate catalog rule)
+           (Qf_datalog.Eval.tabulate catalog minimized))
+
+(* {1 Parser round-trip on random ASTs} *)
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [
+        3, map (fun i -> Ast.Var (Printf.sprintf "X%d" i)) (int_range 0 3);
+        2, map (fun i -> Ast.Param (Printf.sprintf "p%d" i)) (int_range 0 2);
+        1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 9);
+        1, map (fun i -> Ast.Const (V.Str (Printf.sprintf "c%d" i))) (int_range 0 3);
+      ])
+
+let gen_atom =
+  QCheck.Gen.(
+    let* pred = oneofl [ "p"; "q"; "r" ] in
+    let* arity = int_range 1 3 in
+    let* args = list_size (return arity) gen_term in
+    return { Ast.pred; args })
+
+let gen_literal =
+  QCheck.Gen.(
+    frequency
+      [
+        5, map (fun a -> Ast.Pos a) gen_atom;
+        1, map (fun a -> Ast.Neg a) gen_atom;
+        ( 1,
+          let* l = gen_term in
+          let* r = gen_term in
+          let* c = oneofl Ast.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+          return (Ast.Cmp (l, c, r)) );
+      ])
+
+let gen_rule =
+  QCheck.Gen.(
+    let* body = list_size (int_range 1 5) gen_literal in
+    let* head_args = list_size (int_range 1 2) gen_term in
+    (* Heads must not contain parameters (flock convention). *)
+    let head_args =
+      List.map
+        (function Ast.Param p -> Ast.Var ("P" ^ p) | t -> t)
+        head_args
+    in
+    return { Ast.head = { Ast.pred = "answer"; args = head_args }; body })
+
+let arb_rule =
+  QCheck.make ~print:Qf_datalog.Pretty.rule_to_string gen_rule
+
+let prop_pretty_parse_roundtrip =
+  QCheck.Test.make ~name:"pretty-print then parse is the identity" ~count:300
+    arb_rule (fun rule ->
+      match Qf_datalog.Parser.parse_rule (Qf_datalog.Pretty.rule_to_string rule) with
+      | Ok rule' -> Ast.equal_rule rule rule'
+      | Error e -> QCheck.Test.fail_report e)
+
+(* {1 Classic a-priori agrees with brute force} *)
+
+let prop_apriori_vs_bruteforce =
+  QCheck.Test.make ~name:"classic a-priori pairs = brute-force counting"
+    ~count:100 arb_basket_instance (fun (rel, threshold) ->
+      let db = Qf_apriori.Apriori.db_of_relation rel in
+      let mined =
+        Qf_apriori.Apriori.frequent_of_size db ~support:threshold ~size:2
+      in
+      (* Brute force: count every pair directly. *)
+      let items =
+        List.sort_uniq compare
+          (List.concat_map Qf_apriori.Itemset.to_list db)
+      in
+      let brute =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if i < j then begin
+                  let set = Qf_apriori.Itemset.of_list [ i; j ] in
+                  let support =
+                    List.length
+                      (List.filter (fun b -> Qf_apriori.Itemset.subset set b) db)
+                  in
+                  if support >= threshold then Some (set, support) else None
+                end
+                else None)
+              items)
+          items
+      in
+      List.length mined = List.length brute
+      && List.for_all2
+           (fun (f : Qf_apriori.Apriori.frequent) (set, support) ->
+             Qf_apriori.Itemset.equal f.itemset set && f.support = support)
+           mined brute)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_semi_anti_partition;
+      prop_join_cardinality_bound;
+      prop_project_idempotent;
+      prop_group_filter_antitone_in_threshold;
+      prop_naive_equals_direct;
+      prop_plans_equal_direct;
+      prop_dynamic_equals_direct;
+      prop_union_dynamic_equals_direct;
+      prop_fixpoint_transitive_closure;
+      prop_executor_options_equal;
+      prop_storage_roundtrip;
+      prop_subquery_upper_bound;
+      prop_eval_matches_reference;
+      prop_minimize_preserves_semantics;
+      prop_pretty_parse_roundtrip;
+      prop_apriori_vs_bruteforce;
+    ]

@@ -1,0 +1,156 @@
+(* Safety (Sec. 3.2-3.3) and safe-subquery enumeration (Sec. 3.1),
+   including the paper's own counts for Examples 3.1 and 3.2. *)
+open Qf_datalog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rule text =
+  match Parser.parse_rule text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" text e
+
+let medical =
+  "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND \
+   NOT causes(D,$s)"
+
+let test_safe_basic () =
+  check_bool "market-basket rule is safe" true
+    (Safety.is_safe (rule "answer(B) :- baskets(B,$1) AND baskets(B,$2)"));
+  check_bool "medical rule is safe" true (Safety.is_safe (rule medical))
+
+let test_head_variable_must_be_bound () =
+  check_bool "unbound head var" false
+    (Safety.is_safe (rule "answer(P) :- q(X,$a)"));
+  check_bool "head var only in negation" false
+    (Safety.is_safe (rule "answer(P) :- q(X,$a) AND NOT r(P)"));
+  check_bool "head var only in comparison" false
+    (Safety.is_safe (rule "answer(P) :- q(X,$a) AND P < X"))
+
+let test_negated_variables_must_be_bound () =
+  check_bool "negation var unbound" false
+    (Safety.is_safe (rule "answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)"));
+  check_bool "negation param unbound" false
+    (Safety.is_safe (rule "answer(P) :- diagnoses(P,D) AND NOT causes(D,$s)"));
+  check_bool "negation fully bound" true
+    (Safety.is_safe
+       (rule "answer(P) :- diagnoses(P,D) AND exhibits(P,$s) AND NOT causes(D,$s)"))
+
+let test_arithmetic_variables_must_be_bound () =
+  check_bool "cmp var unbound" false
+    (Safety.is_safe (rule "answer(P) :- q(P,$a) AND X < 3"));
+  check_bool "cmp param unbound" false
+    (Safety.is_safe (rule "answer(B) :- baskets(B,$1) AND $1 < $2"));
+  check_bool "cmp on constants is safe" true
+    (Safety.is_safe (rule "answer(B) :- baskets(B,$1) AND 1 < 2"))
+
+let test_constants_are_always_safe_terms () =
+  check_bool "const in head" true (Safety.is_safe (rule "answer(B,1) :- p(B,$a)"));
+  check_bool "const in negation" true
+    (Safety.is_safe (rule "answer(B) :- p(B,$a) AND NOT q(B,7)"))
+
+(* Example 3.2: of the 14 nontrivial proper subsets of the four subgoals,
+   exactly 8 are safe.  We recount with the safety checker directly. *)
+let test_paper_example_3_2_count () =
+  let r = rule medical in
+  let body = Array.of_list r.body in
+  let n = Array.length body in
+  let safe_count = ref 0 in
+  for mask = 1 to (1 lsl n) - 2 do
+    let kept = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then kept := body.(i) :: !kept
+    done;
+    if Safety.is_safe { r with body = !kept } then incr safe_count
+  done;
+  check_int "8 safe proper subsets (paper Ex. 3.2)" 8 !safe_count
+
+(* Subquery.enumerate excludes parameterless candidates; the medical rule
+   has one safe parameterless subset (diagnoses alone), leaving 7. *)
+let test_subquery_enumeration_medical () =
+  let candidates = Subquery.enumerate (rule medical) in
+  check_int "7 candidates with parameters" 7 (List.length candidates);
+  let with_params ps =
+    List.filter (fun c -> c.Subquery.params = ps) candidates
+  in
+  (* {ex}, {ex,diag}, {ex,diag,NOT causes} restrict $s; {tr}, {tr,diag}
+     restrict $m; {ex,tr}, {ex,tr,diag} restrict both. *)
+  check_int "3 candidates restrict $s alone" 3 (List.length (with_params [ "s" ]));
+  check_int "2 candidates restrict $m alone" 2 (List.length (with_params [ "m" ]));
+  check_int "2 candidates restrict both" 2
+    (List.length (with_params [ "m"; "s" ]))
+
+(* Example 3.1: the pair flock without arithmetic has exactly two nontrivial
+   subqueries. *)
+let test_subquery_enumeration_baskets () =
+  let r = rule "answer(B) :- baskets(B,$1) AND baskets(B,$2)" in
+  let candidates = Subquery.enumerate r in
+  check_int "two candidates (paper Ex. 3.1)" 2 (List.length candidates);
+  check_bool "params are {1} and {2}" true
+    (List.sort compare (List.map (fun c -> c.Subquery.params) candidates)
+    = [ [ "1" ]; [ "2" ] ])
+
+let test_subquery_safety_filtering () =
+  (* With arithmetic, a subquery keeping the comparison must keep both
+     parameters' positive subgoals. *)
+  let r = rule "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2" in
+  let candidates = Subquery.enumerate r in
+  List.iter
+    (fun c ->
+      check_bool "every candidate is safe" true (Safety.is_safe c.Subquery.rule))
+    candidates;
+  (* Candidates: {b1}, {b2}, {b1,b2}, {b1,b2,cmp}? the last is the full
+     query, excluded.  So exactly 3. *)
+  check_int "3 candidates" 3 (List.length candidates)
+
+let test_minimal_for_params () =
+  let r = rule medical in
+  (match Subquery.minimal_for_params r [ "s" ] with
+  | Some c ->
+    check_int "minimal $s candidate keeps one subgoal" 1 (List.length c.kept)
+  | None -> Alcotest.fail "expected a candidate for $s");
+  match Subquery.minimal_for_params r [ "zz" ] with
+  | Some _ -> Alcotest.fail "no candidate should exist for unknown param"
+  | None -> ()
+
+let test_maximal_per_param_set () =
+  let r = rule medical in
+  let maximal = Subquery.maximal_per_param_set r in
+  (* For {s}: {exhibits} and {exhibits,diagnoses,causes} — the latter is
+     maximal; the former is dominated. *)
+  let s_max =
+    List.filter (fun c -> c.Subquery.params = [ "s" ]) maximal
+  in
+  check_int "one maximal candidate for $s" 1 (List.length s_max);
+  check_int "it keeps three subgoals" 3
+    (List.length (List.hd s_max).Subquery.kept)
+
+let test_positively_bound () =
+  let r = rule medical in
+  Alcotest.(check (list string))
+    "bound keys"
+    [ "$m"; "$s"; "D"; "P" ]
+    (Safety.positively_bound r)
+
+let suite =
+  [
+    Alcotest.test_case "safe rules" `Quick test_safe_basic;
+    Alcotest.test_case "head variables must be bound" `Quick
+      test_head_variable_must_be_bound;
+    Alcotest.test_case "negated variables must be bound" `Quick
+      test_negated_variables_must_be_bound;
+    Alcotest.test_case "arithmetic variables must be bound" `Quick
+      test_arithmetic_variables_must_be_bound;
+    Alcotest.test_case "constants are safe" `Quick
+      test_constants_are_always_safe_terms;
+    Alcotest.test_case "paper Ex. 3.2: 8 safe subsets" `Quick
+      test_paper_example_3_2_count;
+    Alcotest.test_case "medical candidate enumeration" `Quick
+      test_subquery_enumeration_medical;
+    Alcotest.test_case "paper Ex. 3.1: two subqueries" `Quick
+      test_subquery_enumeration_baskets;
+    Alcotest.test_case "candidates are safe" `Quick test_subquery_safety_filtering;
+    Alcotest.test_case "minimal_for_params" `Quick test_minimal_for_params;
+    Alcotest.test_case "maximal_per_param_set" `Quick test_maximal_per_param_set;
+    Alcotest.test_case "positively_bound" `Quick test_positively_bound;
+  ]

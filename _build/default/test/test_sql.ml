@@ -1,0 +1,209 @@
+(* The SQL front-end: parsing the Fig. 1 fragment and compiling it to
+   flocks that agree with hand-written ones. *)
+open Qf_sql
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fig1 =
+  {|SELECT i1.Item, i2.Item
+FROM baskets i1, baskets i2
+WHERE i1.Item < i2.Item AND i1.BID = i2.BID
+GROUP BY i1.Item, i2.Item
+HAVING 20 <= COUNT(i1.BID)|}
+
+let basket_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add cat "baskets"
+    (R.of_values [ "BID"; "Item" ]
+       V.[
+         [ Int 1; Str "beer" ]; [ Int 1; Str "diapers" ];
+         [ Int 2; Str "beer" ]; [ Int 2; Str "diapers" ];
+         [ Int 3; Str "beer" ]; [ Int 3; Str "chips" ];
+         [ Int 4; Str "beer" ]; [ Int 4; Str "diapers" ];
+       ]);
+  cat
+
+let test_parse_fig1 () =
+  let q = Sql_parser.parse_exn fig1 in
+  check_int "two FROM entries" 2 (List.length q.Sql_ast.from);
+  check_int "two WHERE predicates" 2 (List.length q.Sql_ast.where);
+  check_int "two GROUP BY columns" 2 (List.length q.Sql_ast.group_by);
+  Alcotest.(check (float 0.)) "bound" 20. q.Sql_ast.having.lower_bound
+
+let test_parse_flexible_syntax () =
+  (* Case-insensitive keywords, HAVING in >= orientation, AS aliases,
+     comments, string literals. *)
+  let q =
+    Sql_parser.parse_exn
+      {|select t.W from words as t -- a comment
+        where t.D = 'doc one'
+        group by t.W having count(t.D) >= 5|}
+  in
+  check_int "one FROM" 1 (List.length q.Sql_ast.from);
+  match (List.hd q.Sql_ast.where).Sql_ast.right with
+  | Sql_ast.Lit (V.Str "doc one") -> ()
+  | _ -> Alcotest.fail "expected string literal"
+
+let test_parse_errors () =
+  let is_err s = Result.is_error (Sql_parser.parse s) in
+  check_bool "missing GROUP BY" true
+    (is_err "SELECT a.X FROM t a HAVING COUNT(a.Y) >= 2");
+  check_bool "strict HAVING bound rejected" true
+    (is_err "SELECT a.X FROM t a GROUP BY a.X HAVING COUNT(a.Y) > 2");
+  check_bool "trailing garbage" true
+    (is_err (fig1 ^ " ORDER BY x"))
+
+let test_compile_fig1_shape () =
+  let cat = basket_catalog () in
+  match Compile.of_string cat fig1 with
+  | Error e -> Alcotest.failf "compile: %s" e
+  | Ok flock ->
+    check_int "one rule" 1 (Qf_core.Flock.rule_count flock);
+    Alcotest.(check (list string))
+      "two params" [ "1"; "2" ]
+      (Qf_core.Flock.params flock);
+    let body = (List.hd flock.Qf_core.Flock.query).Qf_datalog.Ast.body in
+    (* two baskets subgoals + one comparison *)
+    check_int "body size" 3 (List.length body);
+    check_bool "count filter" true
+      (flock.Qf_core.Flock.filter.agg = Qf_core.Filter.Count)
+
+let test_compile_fig1_equals_fig2_flock () =
+  (* The compiled SQL must compute exactly what the hand-written Fig. 2
+     flock computes, at every threshold. *)
+  let cat = basket_catalog () in
+  List.iter
+    (fun threshold ->
+      let sql =
+        Printf.sprintf
+          "SELECT i1.Item, i2.Item FROM baskets i1, baskets i2 WHERE i1.Item \
+           < i2.Item AND i1.BID = i2.BID GROUP BY i1.Item, i2.Item HAVING %d \
+           <= COUNT(i1.BID)"
+          threshold
+      in
+      let compiled =
+        match Compile.of_string cat sql with
+        | Ok f -> f
+        | Error e -> Alcotest.failf "compile: %s" e
+      in
+      let hand =
+        Qf_core.Parse.flock_exn
+          (Printf.sprintf
+             "QUERY:\n\
+              answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\n\
+              FILTER:\n\
+              COUNT(answer.B) >= %d"
+             threshold)
+      in
+      Alcotest.check Test_util.relation
+        (Printf.sprintf "threshold %d" threshold)
+        (Qf_core.Direct.run cat hand)
+        (Qf_core.Direct.run cat compiled))
+    [ 1; 2; 3; 4 ]
+
+let test_compile_constant_selection () =
+  (* Equality with a literal becomes a constant inside the subgoal. *)
+  let cat = basket_catalog () in
+  let flock =
+    match
+      Compile.of_string cat
+        "SELECT i2.Item FROM baskets i1, baskets i2 WHERE i1.Item = 'beer' \
+         AND i1.BID = i2.BID GROUP BY i2.Item HAVING 2 <= COUNT(i1.BID)"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let result = Qf_core.Direct.run cat flock in
+  (* Items co-occurring with beer in >= 2 baskets: diapers (1,2,4) and
+     beer itself (all four baskets). *)
+  check_int "beer co-occurrence" 2 (R.cardinal result);
+  check_bool "diapers" true (R.mem result [| V.Str "diapers" |])
+
+let test_compile_sum_having () =
+  let cat = basket_catalog () in
+  Catalog.add cat "importance"
+    (R.of_values [ "BID"; "W" ]
+       V.[ [ Int 1; Int 10 ]; [ Int 2; Int 1 ]; [ Int 3; Int 1 ]; [ Int 4; Int 1 ] ]);
+  let flock =
+    match
+      Compile.of_string cat
+        "SELECT b.Item FROM baskets b, importance imp WHERE b.BID = imp.BID \
+         GROUP BY b.Item HAVING 12 <= SUM(imp.W)"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let result = Qf_core.Direct.run cat flock in
+  (* beer: baskets 1-4, weights 10+1+1+1 = 13 >= 12; diapers: 1,2,4 -> 12;
+     chips: 3 -> 1. *)
+  check_int "weighted items" 2 (R.cardinal result)
+
+let test_compile_errors () =
+  let cat = basket_catalog () in
+  let is_err s = Result.is_error (Compile.of_string cat s) in
+  check_bool "unknown table" true
+    (is_err "SELECT a.X FROM nosuch a GROUP BY a.X HAVING 1 <= COUNT(a.X)");
+  check_bool "unknown column" true
+    (is_err
+       "SELECT a.Nope FROM baskets a GROUP BY a.Nope HAVING 1 <= COUNT(a.BID)");
+  check_bool "unknown alias" true
+    (is_err
+       "SELECT z.Item FROM baskets a GROUP BY z.Item HAVING 1 <= COUNT(a.BID)");
+  check_bool "SELECT != GROUP BY" true
+    (is_err
+       "SELECT a.BID FROM baskets a GROUP BY a.Item HAVING 1 <= COUNT(a.BID)");
+  check_bool "aggregate of grouped column" true
+    (is_err
+       "SELECT a.Item FROM baskets a GROUP BY a.Item HAVING 1 <= COUNT(a.Item)");
+  check_bool "duplicate alias" true
+    (is_err
+       "SELECT a.Item FROM baskets a, baskets a GROUP BY a.Item HAVING 1 <= \
+        COUNT(a.BID)");
+  check_bool "contradictory constants" true
+    (is_err
+       "SELECT a.Item FROM baskets a, baskets b WHERE a.BID = 1 AND a.BID = \
+        2 AND a.BID = b.BID GROUP BY a.Item HAVING 1 <= COUNT(b.BID)")
+
+let test_compiled_flock_optimizes () =
+  (* The compiled flock is a first-class flock: the whole optimizer stack
+     applies. *)
+  let cat =
+    Qf_workload.Market.catalog
+      { Qf_workload.Market.default with n_baskets = 300; n_items = 100; seed = 5 }
+  in
+  let flock =
+    match
+      Compile.of_string cat
+        "SELECT i1.Item, i2.Item FROM baskets i1, baskets i2 WHERE i1.Item < \
+         i2.Item AND i1.BID = i2.BID GROUP BY i1.Item, i2.Item HAVING 15 <= \
+         COUNT(i1.BID)"
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let direct = Qf_core.Direct.run cat flock in
+  let plan = Qf_core.Optimizer.optimize cat flock in
+  Alcotest.check Test_util.relation "optimized SQL = direct" direct
+    (Qf_core.Plan_exec.run cat plan);
+  match Qf_core.Dynamic.run cat flock with
+  | Ok r -> Alcotest.check Test_util.relation "dynamic SQL = direct" direct r.answers
+  | Error e -> Alcotest.failf "dynamic: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "parse Fig. 1" `Quick test_parse_fig1;
+    Alcotest.test_case "parse flexible syntax" `Quick test_parse_flexible_syntax;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "compile Fig. 1 shape" `Quick test_compile_fig1_shape;
+    Alcotest.test_case "compiled Fig. 1 = Fig. 2 flock" `Quick
+      test_compile_fig1_equals_fig2_flock;
+    Alcotest.test_case "constant selection" `Quick test_compile_constant_selection;
+    Alcotest.test_case "SUM in HAVING" `Quick test_compile_sum_having;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "compiled flock optimizes" `Quick
+      test_compiled_flock_optimizes;
+  ]

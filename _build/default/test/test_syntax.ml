@@ -1,0 +1,162 @@
+(* Lexer, parser, pretty-printer: the paper's surface syntax. *)
+open Qf_datalog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let parse_rule_exn text =
+  match Parser.parse_rule text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse_rule %S: %s" text e
+
+let parse_query_exn text =
+  match Parser.parse_query text with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse_query %S: %s" text e
+
+let test_lexer_tokens () =
+  let tokens = Lexer.tokenize "answer(B) :- baskets(B,$1) AND $1 < $2" in
+  check_int "token count (incl eof)" 16 (List.length tokens);
+  check_bool "ends with eof" true (List.nth tokens 15 = Lexer.Eof)
+
+let test_lexer_comments () =
+  let tokens = Lexer.tokenize "p(X) % trailing comment\n// line comment\n" in
+  check_int "comments skipped" 5 (List.length tokens)
+
+let test_lexer_keywords_and_sections () =
+  check_bool "QUERY:" true (List.mem Lexer.Query_kw (Lexer.tokenize "QUERY:"));
+  check_bool "FILTER:" true (List.mem Lexer.Filter_kw (Lexer.tokenize "FILTER:"));
+  check_bool "AND" true (List.mem Lexer.And (Lexer.tokenize "AND"));
+  check_bool "NOT" true (List.mem Lexer.Not (Lexer.tokenize "NOT"));
+  (* A capitalized identifier that merely starts like a keyword is not one. *)
+  check_bool "ANDREW is a variable" true
+    (List.mem (Lexer.Uident "ANDREW") (Lexer.tokenize "ANDREW"))
+
+let test_lexer_literals () =
+  let toks = Lexer.tokenize {|42 -7 2.5 1.0e3 "hi \" there" $s $12|} in
+  check_bool "int" true (List.mem (Lexer.Int 42) toks);
+  check_bool "negative" true (List.mem (Lexer.Int (-7)) toks);
+  check_bool "real" true (List.mem (Lexer.Real 2.5) toks);
+  check_bool "exponent" true (List.mem (Lexer.Real 1000.) toks);
+  check_bool "string with escape" true (List.mem (Lexer.String "hi \" there") toks);
+  check_bool "param" true (List.mem (Lexer.Param "s") toks);
+  check_bool "numeric param" true (List.mem (Lexer.Param "12") toks)
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "p(X) & q(Y)");
+     Alcotest.fail "expected a lex error"
+   with Lexer.Error (msg, _) ->
+     check_bool "mentions character" true
+       (Test_util.contains ~sub:"illegal" msg
+        || String.length msg > 0));
+  try
+    ignore (Lexer.tokenize "\"unterminated");
+    Alcotest.fail "expected a lex error"
+  with Lexer.Error _ -> ()
+
+let test_parse_simple_rule () =
+  let r = parse_rule_exn "answer(B) :- baskets(B,$1) AND baskets(B,$2)" in
+  check_string "head" "answer" r.head.pred;
+  check_int "body length" 2 (List.length r.body);
+  check_bool "params" true (Ast.rule_params r = [ "1"; "2" ])
+
+let test_parse_term_kinds () =
+  let r = parse_rule_exn {|p(X) :- q(X, $y, foo, "Bar", 3, 2.5)|} in
+  match r.body with
+  | [ Ast.Pos a ] ->
+    check_bool "var" true (List.nth a.args 0 = Ast.Var "X");
+    check_bool "param" true (List.nth a.args 1 = Ast.Param "y");
+    check_bool "bare const" true
+      (List.nth a.args 2 = Ast.Const (Qf_relational.Value.Str "foo"));
+    check_bool "quoted const" true
+      (List.nth a.args 3 = Ast.Const (Qf_relational.Value.Str "Bar"));
+    check_bool "int const" true
+      (List.nth a.args 4 = Ast.Const (Qf_relational.Value.Int 3));
+    check_bool "real const" true
+      (List.nth a.args 5 = Ast.Const (Qf_relational.Value.Real 2.5))
+  | _ -> Alcotest.fail "expected one positive literal"
+
+let test_parse_negation_and_cmp () =
+  let r =
+    parse_rule_exn
+      "answer(P) :- exhibits(P,$s) AND NOT causes(D,$s) AND diagnoses(P,D) AND $s != 3"
+  in
+  check_int "body" 4 (List.length r.body);
+  (match List.nth r.body 1 with
+  | Ast.Neg a -> check_string "negated pred" "causes" a.pred
+  | _ -> Alcotest.fail "expected negation");
+  match List.nth r.body 3 with
+  | Ast.Cmp (Ast.Param "s", Ast.Ne, Ast.Const (Qf_relational.Value.Int 3)) -> ()
+  | _ -> Alcotest.fail "expected comparison"
+
+let test_parse_union () =
+  let q =
+    parse_query_exn
+      "answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2\n\
+       answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND $1 < $2"
+  in
+  check_int "two rules" 2 (List.length q)
+
+let test_parse_union_validation () =
+  check_bool "differing head arity rejected" true
+    (Result.is_error
+       (Parser.parse_query "answer(X) :- p(X,$a)\nanswer(X,Y) :- q(X,Y,$a)"));
+  check_bool "differing params rejected" true
+    (Result.is_error
+       (Parser.parse_query "answer(X) :- p(X,$a)\nanswer(X) :- p(X,$b)"));
+  check_bool "param in head rejected" true
+    (Result.is_error (Parser.parse_query "answer($a) :- p(X,$a)"))
+
+let test_parse_errors () =
+  check_bool "missing implies" true
+    (Result.is_error (Parser.parse_rule "answer(B) baskets(B,$1)"));
+  check_bool "trailing garbage" true
+    (Result.is_error (Parser.parse_rule "p(X) :- q(X) r"));
+  check_bool "empty arg list" true
+    (Result.is_error (Parser.parse_rule "p() :- q(X)"));
+  check_bool "bare comparison only is fine syntactically" true
+    (Result.is_ok (Parser.parse_rule "p(X) :- q(X) AND 1 < 2"))
+
+let roundtrip rule_text =
+  let r = parse_rule_exn rule_text in
+  let printed = Pretty.rule_to_string r in
+  let r' = parse_rule_exn printed in
+  Alcotest.(check bool)
+    (Printf.sprintf "roundtrip %s" rule_text)
+    true (Ast.equal_rule r r')
+
+let test_pretty_roundtrip () =
+  roundtrip "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2";
+  roundtrip
+    "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) AND NOT causes(D,$s)";
+  roundtrip {|p(X,Y) :- q(X,"odd name",3) AND r(Y,2.5) AND X >= Y|};
+  roundtrip "answer(X) :- arc($1,X) AND arc(X,Y1) AND arc(Y1,Y2)"
+
+let test_pretty_quoting () =
+  let r = parse_rule_exn {|p(X) :- q(X, "Needs Quotes", plain)|} in
+  let printed = Pretty.rule_to_string r in
+  check_bool "quoted where needed" true
+    (Test_util.contains ~sub:{|"Needs Quotes"|} printed);
+  check_bool "bare where possible" true
+    (Test_util.contains ~sub:",plain)" printed)
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer keywords/sections" `Quick
+      test_lexer_keywords_and_sections;
+    Alcotest.test_case "lexer literals" `Quick test_lexer_literals;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parse simple rule" `Quick test_parse_simple_rule;
+    Alcotest.test_case "parse term kinds" `Quick test_parse_term_kinds;
+    Alcotest.test_case "parse negation and comparison" `Quick
+      test_parse_negation_and_cmp;
+    Alcotest.test_case "parse union" `Quick test_parse_union;
+    Alcotest.test_case "union validation" `Quick test_parse_union_validation;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pretty/parse roundtrip" `Quick test_pretty_roundtrip;
+    Alcotest.test_case "pretty quoting" `Quick test_pretty_quoting;
+  ]

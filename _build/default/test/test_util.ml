@@ -1,0 +1,15 @@
+(* Shared helpers for the test suite. *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0
+
+let relation =
+  Alcotest.testable Qf_relational.Relation.pp Qf_relational.Relation.equal
+
+(* Sorted list of tuples as strings: stable golden form for result sets. *)
+let rows rel =
+  List.map
+    (fun tup -> Format.asprintf "%a" Qf_relational.Tuple.pp tup)
+    (Qf_relational.Relation.to_sorted_list rel)

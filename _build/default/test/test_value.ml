@@ -1,0 +1,80 @@
+open Qf_relational
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let test_compare_same_kind () =
+  check_bool "int order" true (Value.compare (Int 1) (Int 2) < 0);
+  check_bool "str order" true (Value.compare (Str "a") (Str "b") < 0);
+  check_bool "real order" true (Value.compare (Real 1.5) (Real 2.5) < 0);
+  check_int "reflexive int" 0 (Value.compare (Int 3) (Int 3));
+  check_int "reflexive str" 0 (Value.compare (Str "x") (Str "x"))
+
+let test_compare_cross_kind () =
+  (* Numbers order numerically across kinds; ties break Int first. *)
+  check_bool "int < real numeric" true (Value.compare (Int 1) (Real 2.0) < 0);
+  check_bool "real < int numeric" true (Value.compare (Real 0.5) (Int 1) < 0);
+  check_bool "tie: int before real" true (Value.compare (Int 1) (Real 1.0) < 0);
+  check_bool "tie: real after int" true (Value.compare (Real 1.0) (Int 1) > 0);
+  check_bool "number before string" true (Value.compare (Int 9) (Str "0") < 0);
+  check_bool "string after number" true (Value.compare (Str "0") (Real 9.) > 0)
+
+let test_compare_total_order () =
+  (* Antisymmetry over a mixed sample. *)
+  let sample =
+    Value.[ Int 0; Int 1; Real 0.5; Real 1.0; Str ""; Str "a"; Int (-3) ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b and ba = Value.compare b a in
+          check_bool
+            (Format.asprintf "antisym %a %a" Value.pp a Value.pp b)
+            true
+            ((ab > 0 && ba < 0) || (ab < 0 && ba > 0) || (ab = 0 && ba = 0)))
+        sample)
+    sample
+
+let test_equal_structural () =
+  check_bool "int eq" true (Value.equal (Int 4) (Int 4));
+  check_bool "cross-kind never equal" false (Value.equal (Int 1) (Real 1.0));
+  check_bool "str/int never equal" false (Value.equal (Str "1") (Int 1))
+
+let test_hash_consistent () =
+  check_int "equal values same hash" (Value.hash (Str "x")) (Value.hash (Str "x"));
+  check_int "equal ints same hash" (Value.hash (Int 17)) (Value.hash (Int 17))
+
+let test_to_float () =
+  Alcotest.(check (option (float 0.)))
+    "int" (Some 5.) (Value.to_float (Int 5));
+  Alcotest.(check (option (float 0.)))
+    "real" (Some 2.5) (Value.to_float (Real 2.5));
+  Alcotest.(check (option (float 0.))) "str" None (Value.to_float (Str "5"))
+
+let test_of_string () =
+  check_bool "int" true (Value.equal (Value.of_string "42") (Int 42));
+  check_bool "negative int" true (Value.equal (Value.of_string "-7") (Int (-7)));
+  check_bool "float" true (Value.equal (Value.of_string "2.5") (Real 2.5));
+  check_bool "string fallback" true
+    (Value.equal (Value.of_string "beer") (Str "beer"));
+  check_bool "quoted string" true
+    (Value.equal (Value.of_string "\"12\"") (Str "12"))
+
+let test_to_string () =
+  check_string "int" "42" (Value.to_string (Int 42));
+  check_string "str quoted" "\"a b\"" (Value.to_string (Str "a b"));
+  check_string "real" "2.5" (Value.to_string (Real 2.5))
+
+let suite =
+  [
+    Alcotest.test_case "compare within kinds" `Quick test_compare_same_kind;
+    Alcotest.test_case "compare across kinds" `Quick test_compare_cross_kind;
+    Alcotest.test_case "compare is a total order" `Quick test_compare_total_order;
+    Alcotest.test_case "equality is structural" `Quick test_equal_structural;
+    Alcotest.test_case "hash agrees with equal" `Quick test_hash_consistent;
+    Alcotest.test_case "to_float" `Quick test_to_float;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+  ]

@@ -1,0 +1,202 @@
+(* Workload generators: determinism, shape, and end-to-end mining checks. *)
+open Qf_workload
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_rng_determinism () =
+  let a = Rng.create 5 and b = Rng.create 5 in
+  let seq r = List.init 20 (fun _ -> Rng.int r 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (seq a) (seq b);
+  let c = Rng.create 6 in
+  check_bool "different seed, different stream" true (seq (Rng.create 5) <> seq c)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    check_bool "in range" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_split_independent () =
+  let r = Rng.create 3 in
+  let s = Rng.split r in
+  let a = List.init 10 (fun _ -> Rng.int r 100) in
+  let b = List.init 10 (fun _ -> Rng.int s 100) in
+  check_bool "split streams differ" true (a <> b)
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~s:1.0 in
+  let r = Rng.create 17 in
+  let counts = Array.make 101 0 in
+  for _ = 1 to 20_000 do
+    let k = Zipf.sample z r in
+    check_bool "rank in range" true (k >= 1 && k <= 100);
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "rank 1 much more frequent than rank 50" true
+    (counts.(1) > 5 * counts.(50));
+  (* Probabilities sum to 1. *)
+  let total = ref 0. in
+  for k = 1 to 100 do
+    total := !total +. Zipf.prob z k
+  done;
+  Alcotest.(check (float 1e-9)) "prob mass" 1.0 !total
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~s:0. in
+  Alcotest.(check (float 1e-9)) "uniform prob" 0.1 (Zipf.prob z 5)
+
+let test_market_determinism_and_shape () =
+  let config = { Market.default with n_baskets = 100; n_items = 50; seed = 8 } in
+  let a = Market.relation config and b = Market.relation config in
+  check_bool "deterministic" true (R.equal a b);
+  check_bool "has rows" true (R.cardinal a > 100);
+  let bids = R.column_values a "BID" in
+  check_int "all baskets appear" 100 (List.length bids)
+
+let test_market_planted_patterns_recovered () =
+  let config =
+    { Market.default with n_baskets = 1000; n_items = 100; seed = 19 }
+  in
+  let rel, patterns =
+    Market.relation_with_patterns config ~n_patterns:2 ~pattern_size:3
+      ~rate:0.1
+  in
+  check_int "two patterns" 2 (List.length patterns);
+  let cat = Catalog.create () in
+  Catalog.add cat "baskets" rel;
+  (* Expected pattern support ~ 100 baskets; mine at 50 and check every
+     within-pattern pair shows up. *)
+  let flock = Qf_core.Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:50 in
+  let pairs = Qf_core.Direct.run cat flock in
+  List.iter
+    (fun pattern ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a < b then
+                check_bool
+                  (Printf.sprintf "planted pair (%d,%d) found" a b)
+                  true
+                  (R.mem pairs [| V.Int a; V.Int b |]))
+            pattern)
+        pattern)
+    patterns;
+  (* The flock sequence recovers each full pattern as a frequent 3-set. *)
+  let levels = Qf_core.Sequence.frequent_levels cat ~pred:"baskets" ~support:50 in
+  let l3 =
+    List.find_opt (fun (l : Qf_core.Sequence.level) -> l.k = 3) levels
+  in
+  match l3 with
+  | None -> Alcotest.fail "no frequent 3-sets found"
+  | Some l ->
+    List.iter
+      (fun pattern ->
+        let tup = Array.of_list (List.map (fun i -> V.Int i) pattern) in
+        check_bool "planted triple found" true (R.mem l.itemsets tup))
+      patterns
+
+let test_market_importance () =
+  let cat =
+    Market.catalog_with_importance
+      { Market.default with n_baskets = 50; seed = 4 }
+  in
+  let importance = Catalog.find cat "importance" in
+  check_int "one weight per basket" 50 (R.cardinal importance)
+
+let test_medical_planted_side_effects_found () =
+  let config =
+    { Medical.default with n_patients = 1500; planted_side_effects = 2; seed = 21 }
+  in
+  let { Medical.catalog; planted } = Medical.generate config in
+  check_int "two planted pairs" 2 (List.length planted);
+  let flock =
+    Qf_core.Parse.flock_exn
+      {|QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= 20|}
+  in
+  let result = Qf_core.Direct.run catalog flock in
+  List.iter
+    (fun (m, s) ->
+      check_bool
+        (Printf.sprintf "planted (m=%d, s=%d) discovered" m s)
+        true
+        (R.mem result [| V.Int m; V.Int s |]))
+    planted
+
+let test_medical_one_disease_per_patient () =
+  let { Medical.catalog; _ } = Medical.generate { Medical.default with seed = 2 } in
+  let diagnoses = Catalog.find catalog "diagnoses" in
+  let patients = R.column_values diagnoses "Patient" in
+  check_int "one diagnosis per patient (paper assumption)"
+    (List.length patients) (R.cardinal diagnoses)
+
+let test_webdocs_id_spaces_disjoint () =
+  let config = { Webdocs.default with n_docs = 50; n_anchors = 80; seed = 3 } in
+  let cat = Webdocs.generate config in
+  let doc_ids = R.column_values (Catalog.find cat "inTitle") "D" in
+  let anchor_ids = R.column_values (Catalog.find cat "inAnchor") "A" in
+  List.iter
+    (fun a ->
+      check_bool "anchor id not a doc id" false
+        (List.exists (Qf_relational.Value.equal a) doc_ids))
+    anchor_ids
+
+let test_webdocs_link_arity () =
+  let cat = Webdocs.generate { Webdocs.default with seed = 5 } in
+  let link = Catalog.find cat "link" in
+  check_int "link arity" 3 (Qf_relational.Schema.arity (R.schema link))
+
+let test_graph_nodes_in_range () =
+  let config = { Graph.default with n_nodes = 60; max_out_degree = 10; seed = 12 } in
+  let cat = Graph.generate config in
+  let arc = Catalog.find cat "arc" in
+  R.iter
+    (fun tup ->
+      match tup.(0), tup.(1) with
+      | V.Int x, V.Int y ->
+        check_bool "in range" true (x >= 1 && x <= 60 && y >= 1 && y <= 60)
+      | _ -> Alcotest.fail "non-integer node")
+    arc
+
+let test_path_flock_shape () =
+  let flock = Graph.path_flock ~n:3 ~support:5 in
+  let body = (List.hd flock.Qf_core.Flock.query).Qf_datalog.Ast.body in
+  check_int "n+1 arc subgoals" 4 (List.length body);
+  Alcotest.(check (list string)) "single param" [ "1" ] (Qf_core.Flock.params flock)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+    Alcotest.test_case "market determinism/shape" `Quick
+      test_market_determinism_and_shape;
+    Alcotest.test_case "market planted patterns recovered" `Quick
+      test_market_planted_patterns_recovered;
+    Alcotest.test_case "market importance" `Quick test_market_importance;
+    Alcotest.test_case "medical planted side effects found" `Slow
+      test_medical_planted_side_effects_found;
+    Alcotest.test_case "medical one disease per patient" `Quick
+      test_medical_one_disease_per_patient;
+    Alcotest.test_case "webdocs id spaces disjoint" `Quick
+      test_webdocs_id_spaces_disjoint;
+    Alcotest.test_case "webdocs link arity" `Quick test_webdocs_link_arity;
+    Alcotest.test_case "graph nodes in range" `Quick test_graph_nodes_in_range;
+    Alcotest.test_case "path flock shape" `Quick test_path_flock_shape;
+  ]
