@@ -2,6 +2,7 @@
 
    Subcommands:
      flockc check <file.flock>                    parse + safety report
+     flockc lint <file.flock> [--format ...]      static analysis (QF0xx)
      flockc candidates <file.flock>               safe a-priori subqueries
      flockc explain <file.flock> -d pred=csv ...  costed plans
      flockc run <file.flock> -d pred=csv ...      evaluate, print result CSV
@@ -118,6 +119,74 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Parse a flock program and report its structure")
     Term.(const run $ flock_file)
+
+(* {1 lint} *)
+
+let lint_format_arg =
+  Arg.(
+    value
+    & opt (enum [ "text", `Text; "json", `Json ]) `Text
+    & info [ "f"; "format" ] ~docv:"FORMAT"
+        ~doc:"Diagnostic output format: $(b,text) or $(b,json).")
+
+let deny_warnings_arg =
+  Arg.(
+    value & flag
+    & info [ "deny-warnings" ]
+        ~doc:"Exit non-zero on warnings too, not only on errors.")
+
+let lint_cmd =
+  let run path data db format deny =
+    let module Diag = Qf_analysis.Diagnostic in
+    let text =
+      match read_file path with
+      | text -> text
+      | exception Sys_error e ->
+        prerr_endline ("flockc: " ^ e);
+        exit 2
+    in
+    let catalog =
+      match data, db with
+      | [], None -> None
+      | _ -> Some (or_die (load_catalog ?db data))
+    in
+    let diags = Qf_analysis.Lint.lint ?catalog text in
+    (match format with
+    | `Text -> print_string (Diag.render_text ~file:path diags)
+    | `Json -> print_string (Diag.render_json ~file:path diags));
+    (* Cross-check plan generation on clean monotone programs: build the
+       default a-priori plan and run the independent Sec. 4.2 verifier over
+       it (the auditor inside Plan.make sees it too). *)
+    if not (Diag.has_errors diags) then begin
+      Qf_core.Plan.set_auditor Qf_analysis.Plan_check.verify;
+      match Parse.program text with
+      | Error _ -> ()
+      | Ok { Parse.flock; _ } -> (
+        match Apriori_gen.singleton_plan flock with
+        | Ok plan -> (
+          match Qf_analysis.Plan_check.verify plan with
+          | Ok () -> ()
+          | Error e ->
+            prerr_endline ("flockc: internal: illegal generated plan: " ^ e);
+            exit 3)
+        | Error _ -> ())
+    end;
+    let failing =
+      Diag.has_errors diags || (deny && Diag.count Diag.Warning diags > 0)
+    in
+    exit (if failing then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a flock program: safety (Sec. 3.3), schema \
+          consistency, redundant subgoals (Sec. 3.1), arithmetic \
+          contradictions, join hygiene, and FILTER sanity, as stable \
+          QF0xx diagnostics with source spans.  Exit status: 0 clean, 1 \
+          findings, 2 unreadable input, 3 internal plan-legality failure.")
+    Term.(
+      const run $ flock_file $ data_arg $ db_arg $ lint_format_arg
+      $ deny_warnings_arg)
 
 (* {1 candidates} *)
 
@@ -331,4 +400,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "flockc" ~version:"1.0.0" ~doc)
-          [ check_cmd; candidates_cmd; explain_cmd; run_cmd; sql_cmd; import_cmd; rules_cmd; maximal_cmd ]))
+          [ check_cmd; lint_cmd; candidates_cmd; explain_cmd; run_cmd; sql_cmd; import_cmd; rules_cmd; maximal_cmd ]))

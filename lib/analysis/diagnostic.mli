@@ -1,0 +1,87 @@
+(** Structured diagnostics for the flock static analyzer.
+
+    Every finding carries a stable [QF0xx] code, a severity, a source span
+    (threaded from the lexer through the parser), and a cross-reference to
+    the section of the paper that motivates the check.  Codes are grouped:
+
+    - [QF00x] — syntax and program structure;
+    - [QF01x] — safety (Sec. 3.3) and parameter placement;
+    - [QF02x] — schema/catalog consistency;
+    - [QF03x] — redundancy (containment, Sec. 3.1);
+    - [QF04x] — arithmetic-subgoal reasoning;
+    - [QF05x] — join-shape hygiene;
+    - [QF06x] — FILTER-clause sanity. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | QF001  (** syntax error *)
+  | QF002  (** ill-formed union (Sec. 3.4) *)
+  | QF010  (** head variable not bound by a positive subgoal (Sec. 3.3(1)) *)
+  | QF011  (** negated-subgoal variable not bound (Sec. 3.3(2)) *)
+  | QF012  (** arithmetic-subgoal variable not bound (Sec. 3.3(3)) *)
+  | QF013  (** parameter in rule head *)
+  | QF014  (** flock has no parameters: nothing to mine *)
+  | QF020  (** unknown relation (against a catalog) *)
+  | QF021  (** same predicate used with different arities *)
+  | QF022  (** arity disagrees with the stored relation *)
+  | QF030  (** redundant subgoal: CQ minimization (Sec. 3.1) removes it *)
+  | QF040  (** arithmetic subgoal can never hold *)
+  | QF041  (** arithmetic subgoal always holds (constant-foldable) *)
+  | QF042  (** two arithmetic subgoals are jointly unsatisfiable *)
+  | QF050  (** variable occurs exactly once *)
+  | QF051  (** positive subgoals form a disconnected join graph *)
+  | QF060  (** filter aggregates a column the head does not produce *)
+  | QF061  (** non-monotone filter: a-priori pruning unavailable (Sec. 4.1) *)
+  | QF063  (** view rule mentions a parameter *)
+
+type t = {
+  code : code;
+  severity : severity;
+  span : Qf_datalog.Ast.span;
+  message : string;
+}
+
+val code_to_string : code -> string
+
+(** Paper section motivating the check, e.g. ["3.3"]. *)
+val code_section : code -> string
+
+(** One-line description for the README error-code table. *)
+val code_summary : code -> string
+
+val all_codes : code list
+val severity_to_string : severity -> string
+
+(** {1 Construction} *)
+
+val errorf :
+  code -> Qf_datalog.Ast.span -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warningf :
+  code -> Qf_datalog.Ast.span -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val infof :
+  code -> Qf_datalog.Ast.span -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** {1 Reporting} *)
+
+(** Source order, unlocated diagnostics last; deterministic. *)
+val sort : t list -> t list
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+
+(** Sorted list of distinct code strings present. *)
+val distinct_codes : t list -> string list
+
+(** [file:line:col: severity[QF0xx]: message (see paper Sec. s)] *)
+val pp_text : file:string -> Format.formatter -> t -> unit
+
+(** Full text report including the trailing summary line. *)
+val render_text : file:string -> t list -> string
+
+val to_json : t -> string
+
+(** Whole-file JSON report: file, counts, and the diagnostics array. *)
+val render_json : file:string -> t list -> string

@@ -1,3 +1,4 @@
+module Ast = Qf_datalog.Ast
 module Lexer = Qf_datalog.Lexer
 module Parser = Qf_datalog.Parser
 
@@ -7,23 +8,26 @@ let parse_agg st head_pred =
     | Lexer.Uident name -> name
     | tok ->
       raise
-        (Parser.Error
-           (Format.asprintf "expected an aggregate name, found %a"
-              Lexer.pp_token tok))
+        (Parser.Error_at
+           ( Format.asprintf "expected an aggregate name, found %a"
+               Lexer.pp_token tok,
+             Parser.last_span st ))
   in
   Parser.expect st Lexer.Lparen;
   (match Parser.next st with
   | Lexer.Lident p when String.equal p head_pred -> ()
   | Lexer.Lident p ->
     raise
-      (Parser.Error
-         (Printf.sprintf "filter aggregates %s but the query head is %s" p
-            head_pred))
+      (Parser.Error_at
+         ( Printf.sprintf "filter aggregates %s but the query head is %s" p
+             head_pred,
+           Parser.last_span st ))
   | tok ->
     raise
-      (Parser.Error
-         (Format.asprintf "expected the head predicate name, found %a"
-            Lexer.pp_token tok)));
+      (Parser.Error_at
+         ( Format.asprintf "expected the head predicate name, found %a"
+             Lexer.pp_token tok,
+           Parser.last_span st )));
   let column =
     match Parser.next st with
     | Lexer.Dot -> (
@@ -31,18 +35,20 @@ let parse_agg st head_pred =
       | Lexer.Uident c | Lexer.Lident c -> Some c
       | tok ->
         raise
-          (Parser.Error
-             (Format.asprintf "expected a column name, found %a" Lexer.pp_token
-                tok)))
+          (Parser.Error_at
+             ( Format.asprintf "expected a column name, found %a"
+                 Lexer.pp_token tok,
+               Parser.last_span st )))
     | Lexer.Lparen ->
       Parser.expect st Lexer.Star;
       Parser.expect st Lexer.Rparen;
       None
     | tok ->
       raise
-        (Parser.Error
-           (Format.asprintf "expected '.' or '(*)', found %a" Lexer.pp_token
-              tok))
+        (Parser.Error_at
+           ( Format.asprintf "expected '.' or '(*)', found %a" Lexer.pp_token
+               tok,
+             Parser.last_span st ))
   in
   Parser.expect st Lexer.Rparen;
   Parser.expect st (Lexer.Cmp Qf_datalog.Ast.Ge);
@@ -52,9 +58,10 @@ let parse_agg st head_pred =
     | Lexer.Real f -> f
     | tok ->
       raise
-        (Parser.Error
-           (Format.asprintf "expected a numeric threshold, found %a"
-              Lexer.pp_token tok))
+        (Parser.Error_at
+           ( Format.asprintf "expected a numeric threshold, found %a"
+               Lexer.pp_token tok,
+             Parser.last_span st ))
   in
   let agg =
     match agg_name, column with
@@ -63,9 +70,14 @@ let parse_agg st head_pred =
     | "MIN", Some c -> Filter.Min c
     | "MAX", Some c -> Filter.Max c
     | ("SUM" | "MIN" | "MAX"), None ->
-      raise (Parser.Error (agg_name ^ " requires a column, not (*)"))
+      raise
+        (Parser.Error_at
+           (agg_name ^ " requires a column, not (*)", Parser.last_span st))
     | other, _ ->
-      raise (Parser.Error (Printf.sprintf "unknown aggregate %s" other))
+      raise
+        (Parser.Error_at
+           ( Printf.sprintf "unknown aggregate %s" other,
+             Parser.last_span st ))
   in
   { Filter.agg; threshold }
 
@@ -74,26 +86,48 @@ type program = {
   flock : Flock.t;
 }
 
+(** The purely syntactic product of parsing a program, spans included: what
+    the static analyzer ({!Qf_analysis.Lint}) consumes.  No semantic checks
+    (safety, well-formedness, filter-column existence) have run yet. *)
+type located_program = {
+  l_views : Ast.located_rule list;
+  l_query : Ast.located_rule list;
+  l_filter : Filter.t;
+  l_filter_span : Ast.span;
+}
+
 let parse_program_tokens st =
   let views =
     match Parser.peek st with
     | Lexer.Views_kw ->
       ignore (Parser.next st);
-      Parser.rules st
+      Parser.rules_located st
     | _ -> []
   in
   Parser.expect st Lexer.Query_kw;
-  let rules = Parser.rules st in
+  let rules = Parser.rules_located st in
   Parser.expect st Lexer.Filter_kw;
-  let head_pred = (List.hd rules).Qf_datalog.Ast.head.pred in
+  let filter_start = Parser.peek_span st in
+  let head_pred =
+    (List.hd rules).Ast.lr_rule.Qf_datalog.Ast.head.pred
+  in
   let filter = parse_agg st head_pred in
+  let filter_span = Ast.join_spans filter_start (Parser.last_span st) in
   (match Parser.peek st with
   | Lexer.Eof -> ()
   | tok ->
     raise
-      (Parser.Error
-         (Format.asprintf "trailing input after filter: %a" Lexer.pp_token tok)));
-  views, rules, filter
+      (Parser.Error_at
+         ( Format.asprintf "trailing input after filter: %a" Lexer.pp_token tok,
+           Parser.peek_span st )));
+  { l_views = views; l_query = rules; l_filter = filter;
+    l_filter_span = filter_span }
+
+let program_located text =
+  match parse_program_tokens (Parser.of_string text) with
+  | lp -> Ok lp
+  | exception Parser.Error msg -> Error (msg, Ast.no_span)
+  | exception Parser.Error_at (msg, span) -> Error (msg, span)
 
 let check_view_rule (r : Qf_datalog.Ast.rule) =
   let ( let* ) = Result.bind in
@@ -105,18 +139,19 @@ let check_view_rule (r : Qf_datalog.Ast.rule) =
          r.head.pred)
 
 let program text =
-  match
-    let st = Parser.of_string text in
-    let views, rules, filter = parse_program_tokens st in
+  match program_located text with
+  | Error (msg, _) -> Error msg
+  | Ok lp ->
+    let views = List.map (fun lr -> lr.Ast.lr_rule) lp.l_views in
+    let rules = List.map (fun lr -> lr.Ast.lr_rule) lp.l_query in
     Result.bind
       (List.fold_left
          (fun acc r -> Result.bind acc (fun () -> check_view_rule r))
          (Ok ()) views)
       (fun () ->
-        Result.map (fun flock -> { views; flock }) (Flock.make rules filter))
-  with
-  | result -> result
-  | exception Parser.Error msg -> Error msg
+        Result.map
+          (fun flock -> { views; flock })
+          (Flock.make rules lp.l_filter))
 
 let flock text =
   Result.bind (program text) (fun p ->

@@ -50,3 +50,24 @@ type program = {
 val program : string -> (program, string) result
 
 val program_exn : string -> program
+
+(** {1 Span-preserving parse for static analysis}
+
+    {!program_located} stops after the purely syntactic phase: rules carry
+    their source spans and {e no} semantic check (safety, query
+    well-formedness, filter-column existence) has run.  This is the entry
+    point the [qf_analysis] linter builds on — it reports those violations
+    itself, with positions and stable error codes, instead of stopping at
+    the first one. *)
+
+type located_program = {
+  l_views : Qf_datalog.Ast.located_rule list;
+  l_query : Qf_datalog.Ast.located_rule list;
+  l_filter : Filter.t;
+  l_filter_span : Qf_datalog.Ast.span;
+}
+
+(** Errors are lex/parse/section-structure only, with the offending span
+    ({!Qf_datalog.Ast.no_span} when unknown). *)
+val program_located :
+  string -> (located_program, string * Qf_datalog.Ast.span) result

@@ -157,6 +157,17 @@ let check_step (flock : Flock.t) earlier (s : step) ~is_final =
   in
   check_all 0 (flock.query, s.query)
 
+(* An externally installed second opinion on every plan this module
+   admits.  [qf_analysis]'s independent Sec. 4.2 legality verifier is
+   installed here by the test suite (and by [flockc lint]'s plan
+   cross-check), so every plan the optimizer or the levelwise generator
+   produces is re-checked by code that shares nothing with the
+   classification logic above — a sanitizer for plan generation. *)
+let auditor : (t -> (unit, string) result) ref = ref (fun _ -> Ok ())
+
+let set_auditor f = auditor := f
+let clear_auditor () = auditor := fun _ -> Ok ()
+
 let make flock ~steps ~final =
   let* () =
     (* A plan with no auxiliary steps never prunes, so it is sound for any
@@ -175,7 +186,13 @@ let make flock ~steps ~final =
       check (s :: earlier) rest
   in
   let* () = check [] steps in
-  Ok { flock; steps; final }
+  let t = { flock; steps; final } in
+  let* () =
+    match !auditor t with
+    | Ok () -> Ok ()
+    | Error e -> error "plan auditor rejected the plan: %s" e
+  in
+  Ok t
 
 let make_exn flock ~steps ~final =
   match make flock ~steps ~final with

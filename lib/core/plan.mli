@@ -52,6 +52,20 @@ val make_exn : Flock.t -> steps:step list -> final:step -> t
     query.  Always legal; equivalent to {!Direct.run}. *)
 val trivial : Flock.t -> t
 
+(** {1 Plan auditing}
+
+    An installed auditor is consulted at the end of every successful
+    {!make}: if it rejects, [make] returns its error (and [make_exn]
+    raises).  The intended auditor is [Qf_analysis.Plan_check.verify], an
+    independent re-implementation of the Sec. 4.2 legality rule; installing
+    it in a test binary turns every plan construction into a cross-checked
+    one, like a sanitizer for plan generation. *)
+
+val set_auditor : (t -> (unit, string) result) -> unit
+
+(** Restore the default (accept-everything) auditor. *)
+val clear_auditor : unit -> unit
+
 (** All steps in execution order (auxiliary then final). *)
 val all_steps : t -> step list
 

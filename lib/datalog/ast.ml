@@ -1,5 +1,29 @@
 module Value = Qf_relational.Value
 
+type position = { line : int; col : int }
+type span = { start_pos : position; end_pos : position }
+
+let no_pos = { line = 0; col = 0 }
+let no_span = { start_pos = no_pos; end_pos = no_pos }
+let is_no_span s = s.start_pos.line = 0
+
+let join_spans a b =
+  if is_no_span a then b
+  else if is_no_span b then a
+  else
+    let le p q = p.line < q.line || (p.line = q.line && p.col <= q.col) in
+    { start_pos = (if le a.start_pos b.start_pos then a.start_pos else b.start_pos);
+      end_pos = (if le a.end_pos b.end_pos then b.end_pos else a.end_pos) }
+
+let pp_position ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+let pp_span ppf s =
+  if is_no_span s then Format.pp_print_string ppf "-"
+  else if s.start_pos.line = s.end_pos.line then
+    Format.fprintf ppf "%d:%d-%d" s.start_pos.line s.start_pos.col s.end_pos.col
+  else
+    Format.fprintf ppf "%a-%a" pp_position s.start_pos pp_position s.end_pos
+
 type term =
   | Var of string
   | Param of string
@@ -22,6 +46,22 @@ type literal =
 
 type rule = { head : atom; body : literal list }
 type query = rule list
+
+(** A rule together with the source spans of its head and each body
+    literal, as recorded by the parser.  Programmatically built rules use
+    {!locate}, which attaches {!no_span} everywhere. *)
+type located_rule = {
+  lr_rule : rule;
+  lr_head : span;
+  lr_body : span list;
+  lr_span : span;
+}
+
+let locate r =
+  { lr_rule = r;
+    lr_head = no_span;
+    lr_body = List.map (fun _ -> no_span) r.body;
+    lr_span = no_span }
 
 let equal_term a b =
   match a, b with

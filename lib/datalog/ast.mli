@@ -4,6 +4,27 @@
     distinguished {e parameters} written [$name].  A {!query} is a union of
     such rules (Sec. 3.4). *)
 
+(** {1 Source locations}
+
+    Lines and columns are 1-based; {!no_span} (line 0) marks synthesized
+    nodes with no source location. *)
+
+type position = { line : int; col : int }
+type span = { start_pos : position; end_pos : position }
+
+val no_pos : position
+val no_span : span
+val is_no_span : span -> bool
+
+(** Smallest span covering both; {!no_span} is the identity. *)
+val join_spans : span -> span -> span
+
+val pp_position : Format.formatter -> position -> unit
+
+(** ["3:5-12"] within one line, ["3:5-4:2"] across lines, ["-"] for
+    {!no_span}. *)
+val pp_span : Format.formatter -> span -> unit
+
 type term =
   | Var of string  (** ordinary variable, conventionally capitalized *)
   | Param of string  (** flock parameter [$name] (name stored without [$]) *)
@@ -30,6 +51,21 @@ type rule = { head : atom; body : literal list }
     predicate and arity and mention the same set of parameters (checked by
     {!wf_query}). *)
 type query = rule list
+
+(** {1 Located rules}
+
+    The parser's span-carrying product: the rule plus the source span of
+    its head and of each body literal (same order as [body]).  Synthesized
+    rules get {!no_span} everywhere via {!locate}. *)
+
+type located_rule = {
+  lr_rule : rule;
+  lr_head : span;
+  lr_body : span list;
+  lr_span : span;
+}
+
+val locate : rule -> located_rule
 
 (** {1 Equality} *)
 

@@ -19,6 +19,8 @@ type token =
   | String of string
   | Eof
 
+type spanned = { tok : token; span : Ast.span }
+
 let pp_token ppf = function
   | Lparen -> Format.pp_print_string ppf "("
   | Rparen -> Format.pp_print_string ppf ")"
@@ -39,7 +41,29 @@ let pp_token ppf = function
   | String s -> Format.fprintf ppf "%S" s
   | Eof -> Format.pp_print_string ppf "<eof>"
 
-exception Error of string * int
+exception Error of string * Ast.position
+
+(* Map byte offsets to 1-based line:col.  The table of line-start offsets
+   is built once per input; positions past the end clamp to the last
+   line. *)
+let position_table input =
+  let n = String.length input in
+  let starts = ref [ 0 ] in
+  for i = 0 to n - 1 do
+    if input.[i] = '\n' then starts := (i + 1) :: !starts
+  done;
+  let starts = Array.of_list (List.rev !starts) in
+  fun off ->
+    let off = if off < 0 then 0 else if off > n then n else off in
+    (* Last line start <= off. *)
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if starts.(mid) <= off then bsearch mid hi else bsearch lo (mid - 1)
+    in
+    let line = bsearch 0 (Array.length starts - 1) in
+    { Ast.line = line + 1; col = off - starts.(line) + 1 }
 
 let is_ident_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
@@ -47,10 +71,13 @@ let is_ident_char = function
 
 let is_digit = function '0' .. '9' -> true | _ -> false
 
-let tokenize input =
+let tokenize_spanned input =
   let n = String.length input in
+  let pos_of = position_table input in
+  let span i j = { Ast.start_pos = pos_of i; end_pos = pos_of j } in
+  let error msg i = raise (Error (msg, pos_of i)) in
   let tokens = ref [] in
-  let emit tok = tokens := tok :: !tokens in
+  let emit tok i j = tokens := { tok; span = span i j } :: !tokens in
   let rec skip_line i = if i < n && input.[i] <> '\n' then skip_line (i + 1) else i in
   let rec ident_end i = if i < n && is_ident_char input.[i] then ident_end (i + 1) else i in
   let number_end i =
@@ -64,86 +91,86 @@ let tokenize input =
       else i, true
     else i, false
   in
-  let rec string_end i buf =
-    if i >= n then raise (Error ("unterminated string literal", i))
+  let rec string_end start i buf =
+    if i >= n then error "unterminated string literal" start
     else
       match input.[i] with
       | '"' -> i + 1
       | '\\' when i + 1 < n ->
         Buffer.add_char buf input.[i + 1];
-        string_end (i + 2) buf
+        string_end start (i + 2) buf
       | c ->
         Buffer.add_char buf c;
-        string_end (i + 1) buf
+        string_end start (i + 1) buf
   in
   let rec loop i =
-    if i >= n then emit Eof
+    if i >= n then emit Eof i i
     else
       match input.[i] with
       | ' ' | '\t' | '\n' | '\r' -> loop (i + 1)
       | '%' -> loop (skip_line i)
       | '/' when i + 1 < n && input.[i + 1] = '/' -> loop (skip_line i)
       | '(' ->
-        emit Lparen;
+        emit Lparen i (i + 1);
         loop (i + 1)
       | ')' ->
-        emit Rparen;
+        emit Rparen i (i + 1);
         loop (i + 1)
       | ',' ->
-        emit Comma;
+        emit Comma i (i + 1);
         loop (i + 1)
       | '*' ->
-        emit Star;
+        emit Star i (i + 1);
         loop (i + 1)
       | '.' ->
-        emit Dot;
+        emit Dot i (i + 1);
         loop (i + 1)
       | ';' -> loop (i + 1)
       | ':' when i + 1 < n && input.[i + 1] = '-' ->
-        emit Implies;
+        emit Implies i (i + 2);
         loop (i + 2)
       | '<' when i + 1 < n && input.[i + 1] = '=' ->
-        emit (Cmp Ast.Le);
+        emit (Cmp Ast.Le) i (i + 2);
         loop (i + 2)
       | '<' when i + 1 < n && input.[i + 1] = '>' ->
-        emit (Cmp Ast.Ne);
+        emit (Cmp Ast.Ne) i (i + 2);
         loop (i + 2)
       | '<' ->
-        emit (Cmp Ast.Lt);
+        emit (Cmp Ast.Lt) i (i + 1);
         loop (i + 1)
       | '>' when i + 1 < n && input.[i + 1] = '=' ->
-        emit (Cmp Ast.Ge);
+        emit (Cmp Ast.Ge) i (i + 2);
         loop (i + 2)
       | '>' ->
-        emit (Cmp Ast.Gt);
+        emit (Cmp Ast.Gt) i (i + 1);
         loop (i + 1)
       | '!' when i + 1 < n && input.[i + 1] = '=' ->
-        emit (Cmp Ast.Ne);
+        emit (Cmp Ast.Ne) i (i + 2);
         loop (i + 2)
       | '=' ->
-        emit (Cmp Ast.Eq);
+        emit (Cmp Ast.Eq) i (i + 1);
         loop (i + 1)
       | '"' ->
         let buf = Buffer.create 16 in
-        let j = string_end (i + 1) buf in
-        emit (String (Buffer.contents buf));
+        let j = string_end i (i + 1) buf in
+        emit (String (Buffer.contents buf)) i j;
         loop j
       | '$' ->
         let j = ident_end (i + 1) in
-        if j = i + 1 then raise (Error ("empty parameter name after $", i));
-        emit (Param (String.sub input (i + 1) (j - i - 1)));
+        if j = i + 1 then error "empty parameter name after $" i;
+        emit (Param (String.sub input (i + 1) (j - i - 1))) i j;
         loop j
       | '0' .. '9' ->
         let j, is_real = number_end i in
         let text = String.sub input i (j - i) in
-        if is_real then emit (Real (float_of_string text))
-        else emit (Int (int_of_string text));
+        if is_real then emit (Real (float_of_string text)) i j
+        else emit (Int (int_of_string text)) i j;
         loop j
       | '-' when i + 1 < n && is_digit input.[i + 1] ->
         let j, is_real = number_end (i + 1) in
         let text = String.sub input i (j - i) in
-        if is_real then emit (Real (float_of_string text))
-        else emit (Int (int_of_string text));
+        if is_real then emit (Real (float_of_string text)) i j
+        else emit (Int (int_of_string text)) i j;
         loop j
       | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
         let j = ident_end i in
@@ -151,26 +178,28 @@ let tokenize input =
         let with_colon = j < n && input.[j] = ':' && (j + 1 >= n || input.[j + 1] <> '-') in
         (match word, with_colon with
         | "QUERY", true ->
-          emit Query_kw;
+          emit Query_kw i (j + 1);
           loop (j + 1)
         | "FILTER", true ->
-          emit Filter_kw;
+          emit Filter_kw i (j + 1);
           loop (j + 1)
         | "VIEWS", true ->
-          emit Views_kw;
+          emit Views_kw i (j + 1);
           loop (j + 1)
         | "AND", _ ->
-          emit And;
+          emit And i j;
           loop j
         | "NOT", _ ->
-          emit Not;
+          emit Not i j;
           loop j
         | _ ->
           (match word.[0] with
-          | 'A' .. 'Z' -> emit (Uident word)
-          | _ -> emit (Lident word));
+          | 'A' .. 'Z' -> emit (Uident word) i j
+          | _ -> emit (Lident word) i j);
           loop j)
-      | c -> raise (Error (Printf.sprintf "illegal character %C" c, i))
+      | c -> error (Printf.sprintf "illegal character %C" c) i
   in
   loop 0;
   List.rev !tokens
+
+let tokenize input = List.map (fun s -> s.tok) (tokenize_spanned input)

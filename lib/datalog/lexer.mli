@@ -27,10 +27,22 @@ type token =
   | String of string  (** double-quoted *)
   | Eof
 
+(** A token together with its source span (1-based line/col, end
+    exclusive). *)
+type spanned = { tok : token; span : Ast.span }
+
 val pp_token : Format.formatter -> token -> unit
 
-exception Error of string * int  (** message, byte offset *)
+exception Error of string * Ast.position  (** message, 1-based line:col *)
 
 (** Tokenize an entire input.  The result always ends with [Eof].
     Raises {!Error} on an illegal character or unterminated string. *)
 val tokenize : string -> token list
+
+(** Like {!tokenize}, but every token carries its source span. *)
+val tokenize_spanned : string -> spanned list
+
+(** [position_table input offset] maps a byte offset into [input] to a
+    1-based line:col position (used to report positions for inputs lexed
+    elsewhere). *)
+val position_table : string -> int -> Ast.position

@@ -1,23 +1,40 @@
 module Value = Qf_relational.Value
 
 exception Error of string
+exception Error_at of string * Ast.span
 
-type state = { tokens : Lexer.token array; mutable pos : int }
+type state = { tokens : Lexer.spanned array; mutable pos : int }
 
-let of_tokens tokens = { tokens = Array.of_list tokens; pos = 0 }
+let of_spanned tokens = { tokens = Array.of_list tokens; pos = 0 }
+
+let of_tokens tokens =
+  of_spanned
+    (List.map (fun tok -> { Lexer.tok; span = Ast.no_span }) tokens)
 
 let of_string text =
-  match Lexer.tokenize text with
-  | tokens -> of_tokens tokens
-  | exception Lexer.Error (msg, off) ->
-    raise (Error (Printf.sprintf "lex error at offset %d: %s" off msg))
+  match Lexer.tokenize_spanned text with
+  | tokens -> of_spanned tokens
+  | exception Lexer.Error (msg, pos) ->
+    raise
+      (Error_at
+         ( Printf.sprintf "lex error at line %d, column %d: %s" pos.Ast.line
+             pos.Ast.col msg,
+           { Ast.start_pos = pos; end_pos = pos } ))
 
-let peek st =
-  if st.pos < Array.length st.tokens then st.tokens.(st.pos) else Lexer.Eof
+let nth_spanned st i =
+  if i < Array.length st.tokens then st.tokens.(i)
+  else if Array.length st.tokens > 0 then
+    { (st.tokens.(Array.length st.tokens - 1)) with tok = Lexer.Eof }
+  else { Lexer.tok = Lexer.Eof; span = Ast.no_span }
 
-let peek2 st =
-  if st.pos + 1 < Array.length st.tokens then st.tokens.(st.pos + 1)
-  else Lexer.Eof
+let peek st = (nth_spanned st st.pos).tok
+let peek2 st = (nth_spanned st (st.pos + 1)).tok
+
+(* Span of the token at the cursor. *)
+let peek_span st = (nth_spanned st st.pos).span
+
+(* Span of the most recently consumed token. *)
+let last_span st = (nth_spanned st (max 0 (st.pos - 1))).span
 
 let next st =
   let tok = peek st in
@@ -25,10 +42,18 @@ let next st =
   tok
 
 let fail st expected =
+  let sp = peek_span st in
+  let where =
+    if Ast.is_no_span sp then Printf.sprintf " (token %d)" st.pos
+    else
+      Printf.sprintf " at line %d, column %d" sp.Ast.start_pos.Ast.line
+        sp.Ast.start_pos.Ast.col
+  in
   raise
-    (Error
-       (Format.asprintf "expected %s but found %a (token %d)" expected
-          Lexer.pp_token (peek st) st.pos))
+    (Error_at
+       ( Format.asprintf "expected %s but found '%a'%s" expected Lexer.pp_token
+           (peek st) where,
+         sp ))
 
 let expect st tok = if next st <> tok then fail st (Format.asprintf "%a" Lexer.pp_token tok)
 
@@ -57,41 +82,59 @@ let atom_args st =
   in
   more []
 
-let atom st =
+(* An atom plus the span from the predicate name to the closing paren. *)
+let atom_spanned st =
   match next st with
-  | Lexer.Lident pred -> { Ast.pred; args = atom_args st }
+  | Lexer.Lident pred ->
+    let start = last_span st in
+    let args = atom_args st in
+    { Ast.pred; args }, Ast.join_spans start (last_span st)
   | _ ->
     st.pos <- st.pos - 1;
     fail st "a predicate name"
 
-let literal st =
+let literal_spanned st =
   match peek st with
   | Lexer.Not ->
+    let start = peek_span st in
     ignore (next st);
-    Ast.Neg (atom st)
-  | Lexer.Lident _ when peek2 st = Lexer.Lparen -> Ast.Pos (atom st)
+    let a, sp = atom_spanned st in
+    Ast.Neg a, Ast.join_spans start sp
+  | Lexer.Lident _ when peek2 st = Lexer.Lparen ->
+    let a, sp = atom_spanned st in
+    Ast.Pos a, sp
   | _ -> (
+    let start = peek_span st in
     let left = term st in
     match next st with
     | Lexer.Cmp c ->
       let right = term st in
-      Ast.Cmp (left, c, right)
+      Ast.Cmp (left, c, right), Ast.join_spans start (last_span st)
     | _ ->
       st.pos <- st.pos - 1;
       fail st "a comparison operator")
 
-let rule st =
-  let head = atom st in
+let rule_located st =
+  let head, head_span = atom_spanned st in
   expect st Lexer.Implies;
   let rec more acc =
-    let l = literal st in
+    let l = literal_spanned st in
     match peek st with
     | Lexer.And ->
       ignore (next st);
       more (l :: acc)
     | _ -> List.rev (l :: acc)
   in
-  { Ast.head; body = more [] }
+  let body = more [] in
+  let spans = List.map snd body in
+  {
+    Ast.lr_rule = { Ast.head; body = List.map fst body };
+    lr_head = head_span;
+    lr_body = spans;
+    lr_span = List.fold_left Ast.join_spans head_span spans;
+  }
+
+let rule st = (rule_located st).Ast.lr_rule
 
 (* A new rule begins iff the cursor sits on `lident (` — a head atom.  The
    following `:-` is then required by [rule]. *)
@@ -100,18 +143,21 @@ let at_rule_start st =
   | Lexer.Lident _, Lexer.Lparen -> true
   | _ -> false
 
-let rules st =
+let rules_located st =
   let rec loop acc =
-    if at_rule_start st then loop (rule st :: acc) else List.rev acc
+    if at_rule_start st then loop (rule_located st :: acc) else List.rev acc
   in
   let parsed = loop [] in
   if parsed = [] then fail st "at least one rule";
   parsed
 
+let rules st = List.map (fun lr -> lr.Ast.lr_rule) (rules_located st)
+
 let run_to_result f text =
   match f (of_string text) with
   | v -> Ok v
   | exception Error msg -> Error msg
+  | exception Error_at (msg, _) -> Error msg
 
 let parse_rule text =
   run_to_result

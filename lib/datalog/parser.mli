@@ -17,27 +17,47 @@
 
 exception Error of string
 
+(** Syntax errors found at a known source location: the message already
+    names the line and column, the span points at the offending token. *)
+exception Error_at of string * Ast.span
+
 (** Mutable cursor over a token list. *)
 type state
 
 val of_tokens : Lexer.token list -> state
+
+(** Lexes with spans; a {!Lexer.Error} is re-raised as {!Error_at} with the
+    line:col and the offending lexeme in the message. *)
 val of_string : string -> state
 
 (** Current token without consuming it. *)
 val peek : state -> Lexer.token
 
+(** Source span of the token at the cursor ({!Ast.no_span} when the state
+    was built from bare tokens). *)
+val peek_span : state -> Ast.span
+
+(** Source span of the most recently consumed token. *)
+val last_span : state -> Ast.span
+
 (** Consume and return the current token. *)
 val next : state -> Lexer.token
 
-(** Consume the given token or raise {!Error}. *)
+(** Consume the given token or raise {!Error_at}. *)
 val expect : state -> Lexer.token -> unit
 
 (** Parse one rule starting at the cursor. *)
 val rule : state -> Ast.rule
 
+(** Like {!rule}, but the result carries the head and per-literal source
+    spans. *)
+val rule_located : state -> Ast.located_rule
+
 (** Parse a maximal sequence of rules (a union): rules are recognized while
     the cursor sits on a lowercase identifier followed by [( ... ) :-]. *)
 val rules : state -> Ast.rule list
+
+val rules_located : state -> Ast.located_rule list
 
 (** {1 Whole-string conveniences} *)
 

@@ -1,0 +1,385 @@
+(* The static analyzer (qf_analysis): lint passes, safety edge cases, the
+   QCheck agreement property between [Safety.is_safe] and the analyzer's
+   Sec. 3.3 pass, and the independent Sec. 4.2 plan-legality verifier over
+   every plan the optimizer and the levelwise generator produce. *)
+open Qf_core
+module Ast = Qf_datalog.Ast
+module Safety = Qf_datalog.Safety
+module R = Qf_relational.Relation
+module V = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+module Diag = Qf_analysis.Diagnostic
+module Lint = Qf_analysis.Lint
+module Plan_check = Qf_analysis.Plan_check
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let rule text =
+  match Qf_datalog.Parser.parse_rule text with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S: %s" text e
+
+let codes diags = Diag.distinct_codes diags
+
+let assert_code src expected diags =
+  if not (List.mem expected (codes diags)) then
+    Alcotest.failf "expected %s in lint of %S, got [%s]" expected src
+      (String.concat "; " (codes diags))
+
+let lint ?catalog src =
+  let diags = Lint.lint ?catalog src in
+  (* Every diagnostic from a parsed program must carry a real span. *)
+  List.iter
+    (fun (d : Diag.t) ->
+      if Ast.is_no_span d.Diag.span then
+        Alcotest.failf "diagnostic %s lacks a source span in %S"
+          (Diag.code_to_string d.Diag.code)
+          src)
+    diags;
+  diags
+
+let flock_src body filter =
+  Printf.sprintf "QUERY:\n%s\n\nFILTER:\n%s\n" body filter
+
+(* {1 One program per pass: the right code at the right place} *)
+
+let test_pass_codes () =
+  let cases =
+    [
+      ( flock_src "answer(X,Y) :- baskets(X,$1)" "COUNT(answer.X) >= 2",
+        "QF010" );
+      ( flock_src "answer(X) :- baskets(X,$1) AND NOT baskets(Z,$1)"
+          "COUNT(answer.X) >= 2",
+        "QF011" );
+      ( flock_src "answer(X) :- baskets(X,$1) AND W < 10"
+          "COUNT(answer.X) >= 2",
+        "QF012" );
+      ( flock_src "answer(X,$1) :- baskets(X,$1)" "COUNT(answer.X) >= 2",
+        "QF013" );
+      flock_src "answer(X) :- baskets(X,I)" "COUNT(answer.X) >= 2", "QF014";
+      ( flock_src
+          "answer(B) :- baskets(B,$1)\nanswer(B,I) :- baskets(B,I) AND \
+           baskets(B,$1)"
+          "COUNT(answer.B) >= 2",
+        "QF002" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND baskets(B,$1,$2)"
+          "COUNT(answer.B) >= 2",
+        "QF021" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND baskets(B2,$1)"
+          "COUNT(answer.B) >= 2",
+        "QF030" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND 3 < 2"
+          "COUNT(answer.B) >= 2",
+        "QF040" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND 1 < 2"
+          "COUNT(answer.B) >= 2",
+        "QF041" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND $1 < 5 AND $1 > 9"
+          "COUNT(answer.B) >= 2",
+        "QF042" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND exhibits(B,S)"
+          "COUNT(answer.B) >= 2",
+        "QF050" );
+      ( flock_src "answer(B) :- baskets(B,$1) AND exhibits(P,P)"
+          "COUNT(answer.B) >= 2",
+        "QF051" );
+      flock_src "answer(B) :- baskets(B,$1)" "SUM(answer.Z) >= 3", "QF060";
+      flock_src "answer(B,I) :- baskets(B,I) AND baskets(B,$1)"
+        "MIN(answer.I) >= 3", "QF061";
+      ( "VIEWS:\nbig(B) :- baskets(B,$1)\n\nQUERY:\nanswer(B) :- big(B) AND \
+         baskets(B,$1)\n\nFILTER:\nCOUNT(answer.B) >= 3\n",
+        "QF063" );
+      "QUERY:\nanswer(B :- baskets(B,$1)\n\nFILTER:\nCOUNT(answer.B) >= 3\n",
+      "QF001";
+    ]
+  in
+  List.iter (fun (src, code) -> assert_code src code (lint src)) cases
+
+let test_catalog_codes () =
+  let cat = Catalog.create () in
+  Catalog.add cat "baskets"
+    (R.of_values [ "BID"; "Item" ] V.[ [ Int 1; Int 7 ] ]);
+  let src =
+    flock_src "answer(B) :- baskets(B,$1,$2) AND shelf(B)"
+      "COUNT(answer.B) >= 3"
+  in
+  let diags = lint ~catalog:cat src in
+  assert_code src "QF020" diags;
+  assert_code src "QF022" diags
+
+let test_clean_examples () =
+  List.iter
+    (fun name ->
+      let file =
+        (* dune runtest runs from the test build dir; `dune exec` from the
+           project root. *)
+        if Sys.file_exists ("../data/" ^ name) then "../data/" ^ name
+        else "data/" ^ name
+      in
+      let src =
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match lint src with
+      | [] -> ()
+      | ds ->
+        Alcotest.failf "%s should lint clean but got [%s]" file
+          (String.concat "; " (codes ds)))
+    [
+      "pairs.flock";
+      "side_effects.flock";
+      "multi_disease.flock";
+      "descendants.flock";
+    ]
+
+let test_distinct_code_coverage () =
+  (* The analyzer must be able to produce a healthy spread of distinct
+     diagnostics: run it over a small corpus and count codes. *)
+  let corpus =
+    [
+      flock_src
+        "answer(X,Y) :- baskets(X,$1) AND NOT baskets(Z,$1) AND W < 10"
+        "COUNT(answer.X) >= 2";
+      flock_src "answer(X,$1) :- baskets(X,I)" "COUNT(answer.X) >= 2";
+      flock_src
+        "answer(B) :- baskets(B,$1) AND baskets(B,$1,$2) AND 3 < 2 AND $1 \
+         < 5 AND $1 > 9"
+        "COUNT(answer.B) >= 2";
+      flock_src "answer(B) :- baskets(B,$1) AND exhibits(P,S)"
+        "SUM(answer.Z) >= 3";
+      flock_src "answer(B,I) :- baskets(B,I) AND baskets(B,$1) AND \
+                 baskets(B2,$1)"
+        "MIN(answer.I) >= 3";
+    ]
+  in
+  let all = List.concat_map lint corpus in
+  let n = List.length (codes all) in
+  if n < 10 then
+    Alcotest.failf "only %d distinct codes over the corpus: [%s]" n
+      (String.concat "; " (codes all))
+
+(* {1 Safety edge cases (Sec. 3.3)} *)
+
+let test_safety_edges () =
+  let agree name r expect_safe =
+    check_bool (name ^ ": Safety.is_safe") expect_safe (Safety.is_safe r);
+    check_bool
+      (name ^ ": analyzer agrees")
+      expect_safe
+      (Result.is_ok (Lint.rule_is_qf_safe r))
+  in
+  (* A negated subgoal whose arguments are all parameters: parameters are
+     treated like variables for safety (Sec. 3.3 treats a flock as safe
+     when every instantiation is), so they too need a positive binding. *)
+  agree "negated all-params unbound"
+    (rule "answer(X) :- p(X) AND NOT q($1,$2)")
+    false;
+  agree "negated all-params bound"
+    (rule "answer(X) :- p(X,$1,$2) AND NOT q($1,$2)")
+    true;
+  (* A comparison between two constants binds no variable. *)
+  agree "const-const cmp" (rule "answer(X) :- p(X) AND 1 < 2") true;
+  (* A head of constants only: trivially bound. *)
+  agree "constant-only head" (rule "answer(3) :- p(X)") true;
+  (* A parameter compared with itself: safe (no variable involved),
+     however unsatisfiable -- that is QF040's business, not safety's. *)
+  let self = rule "answer(X) :- p(X,$1) AND $1 < $1" in
+  agree "param self-compare" self true;
+  assert_code "param self-compare" "QF040"
+    (Lint.lint
+       (flock_src "answer(X) :- baskets(X,$1) AND $1 < $1"
+          "COUNT(answer.X) >= 2"));
+  (* And the three violations, for completeness. *)
+  agree "unbound head var" (rule "answer(X,Y) :- p(X)") false;
+  agree "unbound negated var" (rule "answer(X) :- p(X) AND NOT q(Z)") false;
+  agree "unbound cmp var" (rule "answer(X) :- p(X) AND W < 3") false
+
+(* {1 QCheck: the analyzer's safety pass = Safety.is_safe} *)
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [
+        3, map (fun i -> Ast.Var (Printf.sprintf "X%d" i)) (int_range 0 3);
+        2, map (fun i -> Ast.Param (Printf.sprintf "p%d" i)) (int_range 0 2);
+        1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 9);
+      ])
+
+let gen_rule =
+  QCheck.Gen.(
+    let gen_atom =
+      let* pred = oneofl [ "p"; "q"; "r" ] in
+      let* arity = int_range 1 3 in
+      let* args = list_size (return arity) gen_term in
+      return { Ast.pred; args }
+    in
+    let gen_literal =
+      frequency
+        [
+          4, map (fun a -> Ast.Pos a) gen_atom;
+          2, map (fun a -> Ast.Neg a) gen_atom;
+          ( 2,
+            let* l = gen_term in
+            let* r = gen_term in
+            let* c = oneofl Ast.[ Lt; Le; Gt; Ge; Eq; Ne ] in
+            return (Ast.Cmp (l, c, r)) );
+        ]
+    in
+    let* body = list_size (int_range 1 5) gen_literal in
+    let* head_args = list_size (int_range 0 2) gen_term in
+    let head_args =
+      List.map
+        (function Ast.Param p -> Ast.Var ("P" ^ p) | t -> t)
+        head_args
+    in
+    return { Ast.head = { Ast.pred = "answer"; args = head_args }; body })
+
+let prop_safety_agreement =
+  QCheck.Test.make
+    ~name:"analyzer QF-safety pass = Safety.is_safe on random rules"
+    ~count:500
+    (QCheck.make ~print:Qf_datalog.Pretty.rule_to_string gen_rule)
+    (fun r ->
+      Safety.is_safe r = Result.is_ok (Lint.rule_is_qf_safe r))
+
+(* {1 The independent Sec. 4.2 verifier over generated plans} *)
+
+let medical_flock threshold =
+  Parse.flock_exn
+    (Printf.sprintf
+       {|QUERY:
+answer(P) :-
+    exhibits(P,$s) AND
+    treatments(P,$m) AND
+    diagnoses(P,D) AND
+    NOT causes(D,$s)
+FILTER:
+COUNT(answer.P) >= %d|}
+       threshold)
+
+let medical_catalog () =
+  (Qf_workload.Medical.generate
+     { Qf_workload.Medical.default with n_patients = 200; seed = 11 })
+    .catalog
+
+let test_verifier_on_optimizer_plans () =
+  let flock = medical_flock 10 in
+  let cat = medical_catalog () in
+  let choices = Optimizer.enumerate cat flock in
+  check_bool "optimizer produced alternatives" true (List.length choices > 1);
+  List.iter
+    (fun (c : Optimizer.choice) ->
+      match Plan_check.verify c.Optimizer.plan with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "optimizer plan [%s] fails the independent check: %s"
+          (String.concat "+"
+             (List.map (String.concat ",") c.Optimizer.param_sets))
+          e)
+    choices
+
+let test_verifier_on_levelwise_plans () =
+  List.iter
+    (fun k ->
+      let _flock, plan =
+        Apriori_gen.levelwise_basket ~pred:"baskets" ~k ~support:3
+      in
+      match Plan_check.verify plan with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "levelwise k=%d plan fails the independent check: %s"
+          k e)
+    [ 2; 3; 4 ]
+
+let test_verifier_on_strategy_plans () =
+  let flock = medical_flock 20 in
+  (match Apriori_gen.singleton_plan flock with
+  | Error e -> Alcotest.failf "singleton_plan: %s" e
+  | Ok p -> (
+    match Plan_check.verify p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "singleton plan rejected: %s" e));
+  match
+    Apriori_gen.param_set_plan flock ~param_sets:[ [ "m" ]; [ "m"; "s" ] ]
+  with
+  | Error e -> Alcotest.failf "param_set_plan: %s" e
+  | Ok p -> (
+    match Plan_check.verify p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "param-set plan rejected: %s" e)
+
+let test_verifier_rejection_agreement () =
+  (* Illegal plans must be rejected no matter which checker runs: the
+     builder's own rule and the independent verifier (installed as the
+     auditor by test_main) both see them.  A step that retains no original
+     subgoal is not an upper bound. *)
+  let flock = medical_flock 20 in
+  let bogus =
+    Plan.step ~name:"ok_s" [ rule "answer(P) :- exhibits(P,$s)" ]
+  in
+  let final_missing =
+    Plan.step ~name:"result"
+      [ rule "answer(P) :- ok_s($s) AND diagnoses(P,D)" ]
+  in
+  (match Plan.make flock ~steps:[ bogus ] ~final:final_missing with
+  | Ok _ -> Alcotest.fail "a final step deleting originals was accepted"
+  | Error _ -> ());
+  (* Two steps with the same name. *)
+  let final_ok =
+    Plan.step ~name:"result"
+      [
+        rule
+          "answer(P) :- ok_s($s) AND exhibits(P,$s) AND treatments(P,$m) \
+           AND diagnoses(P,D) AND NOT causes(D,$s)";
+      ]
+  in
+  match Plan.make flock ~steps:[ bogus; bogus ] ~final:final_ok with
+  | Ok _ -> Alcotest.fail "duplicate step names were accepted"
+  | Error _ -> ()
+
+let test_auditor_is_installed () =
+  (* test_main installs Plan_check.verify as the Plan.make auditor, so
+     every plan built anywhere in this binary is double-checked.  Verify
+     the hook is live by installing a rejecting auditor and restoring. *)
+  let flock = medical_flock 20 in
+  let final = (Plan.trivial flock).Plan.final in
+  Plan.set_auditor (fun _ -> Error "probe");
+  let r = Plan.make flock ~steps:[] ~final in
+  Plan.set_auditor Plan_check.verify;
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  match r with
+  | Error e -> check_bool "auditor message surfaced" true (contains e "probe")
+  | Ok _ -> Alcotest.fail "rejecting auditor was ignored"
+
+let suite =
+  [
+    Alcotest.test_case "each pass emits its code" `Quick test_pass_codes;
+    Alcotest.test_case "catalog checks QF020/QF022" `Quick
+      test_catalog_codes;
+    Alcotest.test_case "shipped examples lint clean" `Quick
+      test_clean_examples;
+    Alcotest.test_case ">= 10 distinct codes over corpus" `Quick
+      test_distinct_code_coverage;
+    Alcotest.test_case "safety edge cases" `Quick test_safety_edges;
+    QCheck_alcotest.to_alcotest prop_safety_agreement;
+    Alcotest.test_case "verifier passes optimizer plans" `Quick
+      test_verifier_on_optimizer_plans;
+    Alcotest.test_case "verifier passes levelwise plans" `Quick
+      test_verifier_on_levelwise_plans;
+    Alcotest.test_case "verifier passes strategy-1 plans" `Quick
+      test_verifier_on_strategy_plans;
+    Alcotest.test_case "illegal plans rejected under audit" `Quick
+      test_verifier_rejection_agreement;
+    Alcotest.test_case "auditor hook is live" `Quick
+      test_auditor_is_installed;
+  ]

@@ -1,5 +1,9 @@
 (* Aggregates every suite; `dune runtest` runs this executable. *)
 let () =
+  (* Sanitizer: every plan built anywhere in this binary -- by the static
+     optimizer, the levelwise generator, or a test by hand -- is
+     cross-checked against the independent Sec. 4.2 legality verifier. *)
+  Qf_core.Plan.set_auditor Qf_analysis.Plan_check.verify;
   Alcotest.run "query_flocks"
     [
       "value", Test_value.suite;
@@ -20,5 +24,6 @@ let () =
       "storage", Test_storage.suite;
       "sequence", Test_sequence.suite;
       "golden", Test_golden.suite;
+      "lint", Test_lint.suite;
       "properties", Test_props.suite;
     ]
