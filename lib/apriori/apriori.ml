@@ -1,6 +1,7 @@
 module Relation = Qf_relational.Relation
 module Schema = Qf_relational.Schema
 module Value = Qf_relational.Value
+module Tuple = Qf_relational.Tuple
 
 type db = Itemset.t list
 
@@ -15,14 +16,14 @@ let db_of_relation rel =
   Relation.iter
     (fun tup ->
       let item =
-        match tup.(1) with
+        match Tuple.get tup 1 with
         | Value.Int i -> i
         | v ->
           invalid_arg
             (Printf.sprintf "Apriori.db_of_relation: non-integer item %s"
                (Value.to_string v))
       in
-      let key = tup.(0) in
+      let key = Tuple.get tup 0 in
       let existing =
         match Hashtbl.find_opt by_basket key with Some l -> l | None -> []
       in

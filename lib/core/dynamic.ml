@@ -198,7 +198,7 @@ let rule_param_bounds catalog (rule : Ast.rule) params =
         List.iter
           (fun ((key : Tuple.t), v) ->
             match Value.to_float v with
-            | Some x -> Hashtbl.replace tbl key.(0) (int_of_float x)
+            | Some x -> Hashtbl.replace tbl (Tuple.get key 0) (int_of_float x)
             | None -> ())
           counts;
         Some (p, tbl))
@@ -214,7 +214,7 @@ let rule_bound bounds bound_params (key : Tuple.t) =
       match List.find_index (String.equal p) bound_params with
       | None -> acc
       | Some i ->
-        let b = Option.value (Hashtbl.find_opt tbl key.(i)) ~default:0 in
+        let b = Option.value (Hashtbl.find_opt tbl (Tuple.get key i)) ~default:0 in
         min acc b)
     max_int bounds
 

@@ -23,7 +23,7 @@ let pair_rules catalog ~pred ~support ~min_confidence =
   let item_support =
     Aggregate.group_by baskets ~keys:[ item_col ] ~func:Aggregate.Count
     |> List.map (fun (key, v) ->
-           ( key.(0),
+           ( Qf_relational.Tuple.get key 0,
              match Value.to_float v with Some f -> int_of_float f | None -> 0 ))
   in
   let support_of item =
@@ -50,7 +50,8 @@ let pair_rules catalog ~pred ~support ~min_confidence =
         in
         if n < support then []
         else begin
-          let a = key.(0) and b = key.(1) in
+          let a = Qf_relational.Tuple.get key 0
+          and b = Qf_relational.Tuple.get key 1 in
           [ a, b, n; b, a, n ]
         end)
       counts

@@ -100,7 +100,7 @@ let tuple_subset a b =
     if i >= la then true
     else if j >= lb then false
     else
-      let c = Value.compare a.(i) b.(j) in
+      let c = Value.compare (Tuple.get a i) (Tuple.get b j) in
       if c = 0 then loop (i + 1) (j + 1)
       else if c > 0 then loop i (j + 1)
       else false

@@ -5,6 +5,7 @@ module Relation = Qf_relational.Relation
 module Index = Qf_relational.Index
 module Catalog = Qf_relational.Catalog
 module Statistics = Qf_relational.Statistics
+module Pool = Qf_exec_pool.Pool
 
 exception Error of string
 
@@ -33,6 +34,46 @@ module Envs = struct
   let count t = List.length t.rows
 
   let slot_of t key = List.assoc_opt key t.slots
+
+  (* {2 Parallel row fan-out}
+
+     The environment list is the evaluator's working set; binding
+     extension and the row filters are embarrassingly parallel over it.
+     Each chunk emits its slice in input order and the chunks are
+     concatenated in order, so the resulting row list is *identical* to
+     the sequential one — not merely equal as a set. *)
+
+  let par_concat_map f rows =
+    let pool = Pool.default () in
+    let n = List.length rows in
+    if Pool.size pool = 1 || n < Pool.par_threshold () then
+      List.concat_map f rows
+    else begin
+      let arr = Array.of_list rows in
+      Pool.run_chunks pool ~n (fun ~lo ~hi ->
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            acc := f arr.(i) @ !acc
+          done;
+          !acc)
+      |> List.concat
+    end
+
+  let par_filter pred rows =
+    let pool = Pool.default () in
+    let n = List.length rows in
+    if Pool.size pool = 1 || n < Pool.par_threshold () then
+      List.filter pred rows
+    else begin
+      let arr = Array.of_list rows in
+      Pool.run_chunks pool ~n (fun ~lo ~hi ->
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            if pred arr.(i) then acc := arr.(i) :: !acc
+          done;
+          !acc)
+      |> List.concat
+    end
 
   (* How each argument position of an atom is consumed given current slots:
      part of the lookup key, a fresh binding, or an intra-tuple check
@@ -78,7 +119,10 @@ module Envs = struct
              | Bind_new | Check_new _ -> [])
            roles)
     in
-    let idx = Index.build rel key_positions in
+    (* Memoized through the catalog: FILTER steps, optimizer probes and
+       repeated runs against the same stored relations all share built
+       indexes (invalidated by relation version). *)
+    let idx = Catalog.index catalog rel key_positions in
     let width = List.length t.slots in
     let new_width = width + List.length fresh_keys in
     let key_builders =
@@ -100,29 +144,27 @@ module Envs = struct
         | Key_const _ | Key_slot _ -> ())
       roles;
     let fills = List.rev !fills and checks = List.rev !checks in
-    let rows =
-      List.concat_map
-        (fun row ->
-          let key = Tuple.of_list (List.map (fun f -> f row) key_builders) in
-          List.filter_map
-            (fun tup ->
-              let fresh_values = List.map (Array.get tup) fills in
-              let ok =
-                List.for_all
-                  (fun (pos, i) ->
-                    Value.equal tup.(pos) (List.nth fresh_values i))
-                  checks
-              in
-              if not ok then None
-              else begin
-                let row' = Array.make new_width (Value.Int 0) in
-                Array.blit row 0 row' 0 width;
-                List.iteri (fun i v -> row'.(width + i) <- v) fresh_values;
-                Some row'
-              end)
-            (Index.lookup idx key))
-        t.rows
+    let extend_row row =
+      let key = Tuple.of_list (List.map (fun f -> f row) key_builders) in
+      List.filter_map
+        (fun tup ->
+          let fresh_values = List.map (Tuple.get tup) fills in
+          let ok =
+            List.for_all
+              (fun (pos, i) ->
+                Value.equal (Tuple.get tup pos) (List.nth fresh_values i))
+              checks
+          in
+          if not ok then None
+          else begin
+            let row' = Array.make new_width (Value.Int 0) in
+            Array.blit row 0 row' 0 width;
+            List.iteri (fun i v -> row'.(width + i) <- v) fresh_values;
+            Some row'
+          end)
+        (Index.lookup idx key)
     in
+    let rows = par_concat_map extend_row t.rows in
     let slots =
       t.slots @ List.mapi (fun i key -> key, width + i) fresh_keys
     in
@@ -140,7 +182,7 @@ module Envs = struct
     let rel = relation_for catalog a in
     let getters = List.map (term_getter t) a.args in
     let rows =
-      List.filter
+      par_filter
         (fun row ->
           let tup = Tuple.of_list (List.map (fun g -> g row) getters) in
           not (Relation.mem rel tup))
@@ -151,7 +193,7 @@ module Envs = struct
   let filter_cmp t left cmp right =
     let gl = term_getter t left and gr = term_getter t right in
     let rows =
-      List.filter
+      par_filter
         (fun row -> Ast.comparison_eval (Value.compare (gl row) (gr row)) cmp)
         t.rows
     in
@@ -177,7 +219,7 @@ module Envs = struct
   let semijoin t ~keys ~keep =
     let positions = key_positions t keys in
     let rows =
-      List.filter
+      par_filter
         (fun row ->
           Relation.mem keep
             (Tuple.of_list (List.map (Array.get row) positions)))
@@ -358,8 +400,8 @@ let project_with_consts envs ~group_keys ~group_columns (r : Ast.rule) =
     let n_group = List.length group_columns in
     Relation.iter
       (fun tup ->
-        let rest = ref (Array.to_list tup |> List.filteri (fun i _ -> i >= n_group)) in
-        let prefix = Array.to_list tup |> List.filteri (fun i _ -> i < n_group) in
+        let rest = ref (Tuple.to_list tup |> List.filteri (fun i _ -> i >= n_group)) in
+        let prefix = Tuple.to_list tup |> List.filteri (fun i _ -> i < n_group) in
         let head_vals =
           List.map
             (function

@@ -22,14 +22,14 @@ let active_domain catalog (r : Ast.rule) =
         let rel = Catalog.find catalog a.Ast.pred in
         Relation.iter
           (fun tup ->
-            Array.iter
+            Seq.iter
               (fun v ->
                 let key = Value.hash v, Value.to_string v in
                 if not (Hashtbl.mem seen key) then begin
                   Hashtbl.add seen key ();
                   values := v :: !values
                 end)
-              tup)
+              (Tuple.to_seq tup))
           rel
       | Ast.Cmp (l, _, rt) ->
         (* Constants in comparisons also belong to the domain: a rule like

@@ -1,0 +1,186 @@
+(* A dependency-free Domain-based worker pool (OCaml >= 5.0 stdlib only).
+
+   A pool of size [s] owns [s - 1] worker domains plus the calling domain:
+   [run_all] pushes thunks onto a shared queue, the caller drains the queue
+   alongside the workers, and a countdown latch releases the caller once
+   every thunk has finished.  Workers never block on anything but the queue
+   condition, so nested [run_all] calls cannot deadlock (a nested caller
+   first helps drain the queue, then waits only for tasks already running
+   on other domains).
+
+   A pool of size 1 spawns no domains at all: [run_all] degenerates to
+   [List.map (fun f -> f ())], so single-core configurations pay nothing. *)
+
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable stop : bool;
+}
+
+let size t = t.size
+
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      if t.stop then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else
+        match Queue.take_opt t.queue with
+        | Some job ->
+          Mutex.unlock t.mutex;
+          Some job
+        | None ->
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+    in
+    match wait () with
+    | None -> ()
+    | Some job ->
+      job ();
+      next ()
+  in
+  next ()
+
+let create ~size =
+  let size = max 1 size in
+  let t =
+    {
+      size;
+      workers = [||];
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      stop = false;
+    }
+  in
+  if size > 1 then
+    t.workers <-
+      Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let was_stopped = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  if not was_stopped then Array.iter Domain.join t.workers
+
+let run_all : type a. t -> (unit -> a) list -> a list =
+ fun t thunks ->
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ when t.size = 1 -> List.map (fun f -> f ()) thunks
+  | _ ->
+    let n = List.length thunks in
+    let results : a option array = Array.make n None in
+    let first_error : exn option Atomic.t = Atomic.make None in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let wrap i f () =
+      (try results.(i) <- Some (f ())
+       with e -> ignore (Atomic.compare_and_set first_error None (Some e)));
+      (* The last finisher wakes the caller; intermediate finishers only
+         decrement.  The atomic RMW chain orders every task's writes before
+         the caller's read of [remaining = 0]. *)
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock done_mutex;
+        Condition.broadcast done_cond;
+        Mutex.unlock done_mutex
+      end
+    in
+    Mutex.lock t.mutex;
+    List.iteri (fun i f -> Queue.add (wrap i f) t.queue) thunks;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    (* The caller participates: drain the queue before waiting. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let job = Queue.take_opt t.queue in
+      Mutex.unlock t.mutex;
+      match job with
+      | Some job ->
+        job ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    (match Atomic.get first_error with Some e -> raise e | None -> ());
+    Array.to_list results
+    |> List.map (function
+         | Some v -> v
+         | None -> failwith "Exec_pool.run_all: missing result")
+
+(* {1 Chunked fan-out over [0, n)} *)
+
+let chunks_of ~size ~n =
+  (* At most [size] chunks, each of near-equal width; fewer when [n] is
+     small so no chunk is empty. *)
+  let k = min size (max 1 n) in
+  let base = n / k and rem = n mod k in
+  List.init k (fun i ->
+      let lo = (i * base) + min i rem in
+      let width = base + if i < rem then 1 else 0 in
+      lo, lo + width)
+
+let run_chunks t ~n f =
+  if n <= 0 then []
+  else
+    run_all t
+      (List.map (fun (lo, hi) -> fun () -> f ~lo ~hi) (chunks_of ~size:t.size ~n))
+
+(* {1 The shared default pool} *)
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v >= 1 -> Some v
+    | _ -> None)
+
+let default_size () =
+  match env_int "QF_DOMAINS" with
+  | Some v -> v
+  | None -> Domain.recommended_domain_count ()
+
+(* Below this many items a kernel should stay sequential: chunking and
+   merging overhead beats the win on small inputs. *)
+let par_threshold () =
+  match env_int "QF_PAR_THRESHOLD" with Some v -> v | None -> 4096
+
+let default_pool : t option ref = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~size:(default_size ()) in
+      default_pool := Some p;
+      p
+  in
+  Mutex.unlock default_mutex;
+  pool
+
+let set_default_size size =
+  Mutex.lock default_mutex;
+  let old = !default_pool in
+  default_pool := Some (create ~size);
+  Mutex.unlock default_mutex;
+  Option.iter shutdown old

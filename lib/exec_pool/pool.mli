@@ -1,0 +1,53 @@
+(** A dependency-free [Domain]-based worker pool.
+
+    A pool of size [s] represents a total parallelism of [s]: [s - 1]
+    spawned worker domains plus the calling domain, which participates in
+    every {!run_all}.  A pool of size 1 spawns nothing and runs every task
+    inline, so sequential configurations pay no synchronization cost.
+
+    The relational kernels ({!Qf_relational.Join}, [Relation.select],
+    [Aggregate.group_by], the Datalog evaluator's binding extension) fan
+    work out over the {!default} pool when the input is large enough (see
+    {!par_threshold}) and fall back to their sequential paths otherwise. *)
+
+type t
+
+(** [create ~size] spawns [max 1 size - 1] worker domains. *)
+val create : size:int -> t
+
+(** Total parallelism (workers + caller). *)
+val size : t -> int
+
+(** Join every worker domain.  Idempotent; the pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [run_all pool thunks] runs every thunk to completion — on the workers
+    and the calling domain — and returns their results in input order.
+    The first exception raised by any thunk is re-raised in the caller
+    (after all thunks have finished). *)
+val run_all : t -> (unit -> 'a) list -> 'a list
+
+(** [run_chunks pool ~n f] splits [0, n)] into at most [size pool]
+    near-equal [~lo ~hi) ranges and runs [f] on each in parallel,
+    returning per-chunk results in ascending-range order.  Deterministic
+    given deterministic [f]. *)
+val run_chunks : t -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
+
+(** The chunk boundaries {!run_chunks} uses (exposed for tests). *)
+val chunks_of : size:int -> n:int -> (int * int) list
+
+(** Pool size for the shared default pool: [QF_DOMAINS] when set to a
+    positive integer, else [Domain.recommended_domain_count ()]. *)
+val default_size : unit -> int
+
+(** Input cardinality below which parallel kernels stay sequential:
+    [QF_PAR_THRESHOLD] when set, else 4096. *)
+val par_threshold : unit -> int
+
+(** The shared pool, created lazily from {!default_size}. *)
+val default : unit -> t
+
+(** Replace the shared pool with one of the given size (shutting the old
+    one down).  The benchmark's scaling sweeps use this. *)
+val set_default_size : int -> unit

@@ -1,3 +1,5 @@
+module Pool = Qf_exec_pool.Pool
+
 type func =
   | Count
   | Sum of string
@@ -28,35 +30,107 @@ let eval func schema tuples =
       let pos = Schema.position schema col in
       let total =
         List.fold_left
-          (fun acc tup -> acc +. numeric_exn "sum" tup.(pos))
+          (fun acc tup -> acc +. numeric_exn "sum" (Tuple.get tup pos))
           0. tuples
       in
       Value.Real total
     | Min col ->
       let pos = Schema.position schema col in
       List.fold_left
-        (fun acc tup -> if Value.compare tup.(pos) acc < 0 then tup.(pos) else acc)
-        first.(pos) rest
+        (fun acc tup ->
+          if Value.compare (Tuple.get tup pos) acc < 0 then Tuple.get tup pos
+          else acc)
+        (Tuple.get first pos) rest
     | Max col ->
       let pos = Schema.position schema col in
       List.fold_left
-        (fun acc tup -> if Value.compare tup.(pos) acc > 0 then tup.(pos) else acc)
-        first.(pos) rest)
+        (fun acc tup ->
+          if Value.compare (Tuple.get tup pos) acc > 0 then Tuple.get tup pos
+          else acc)
+        (Tuple.get first pos) rest)
 
-let group_by rel ~keys ~func =
+(* {1 Parallel grouping}
+
+   Group-by is the FILTER step's core operation and routinely runs over
+   millions of tabulated rows, so it gets the full two-phase treatment:
+
+   - phase 1 (parallel over row chunks): project each tuple's key and
+     scatter [(key, tuple)] into one of [d] buckets by key hash, so every
+     distinct key lands in exactly one partition;
+   - phase 2 (parallel over the [d] partitions): build the per-partition
+     group table and evaluate the aggregate per group.
+
+   No cross-domain merge is needed — partitioning by key hash makes the
+   partitions disjoint — and the cached tuple hash makes both the scatter
+   and the table probes O(1).  Results are the same (unordered) group
+   list as the sequential path. *)
+
+let group_by_parallel pool rel ~key_positions ~func =
   let schema = Relation.schema rel in
-  let idx = Index.build_on rel keys in
-  let out = ref [] in
-  Index.iter_groups
-    (fun key tuples -> out := (key, eval func schema tuples) :: !out)
-    idx;
-  !out
+  let tuples = Relation.to_array rel in
+  let n = Array.length tuples in
+  let d = Pool.size pool in
+  let buckets_per_chunk =
+    Pool.run_chunks pool ~n (fun ~lo ~hi ->
+        let buckets = Array.make d [] in
+        for i = lo to hi - 1 do
+          let tup = tuples.(i) in
+          let key = Tuple.project key_positions tup in
+          let j = (Tuple.hash key land max_int) mod d in
+          buckets.(j) <- (key, tup) :: buckets.(j)
+        done;
+        buckets)
+  in
+  let partitions =
+    List.init d (fun j ->
+        List.map (fun buckets -> buckets.(j)) buckets_per_chunk)
+  in
+  let per_partition =
+    Pool.run_all pool
+      (List.map
+         (fun pieces () ->
+           let groups : Tuple.t list ref Tuple.Table.t =
+             Tuple.Table.create 64
+           in
+           List.iter
+             (List.iter (fun (key, tup) ->
+                  match Tuple.Table.find_opt groups key with
+                  | Some cell -> cell := tup :: !cell
+                  | None -> Tuple.Table.add groups key (ref [ tup ])))
+             pieces;
+           Tuple.Table.fold
+             (fun key cell acc -> (key, eval func schema !cell) :: acc)
+             groups [])
+         partitions)
+  in
+  List.concat per_partition
 
-let group_filter rel ~keys ~func ~threshold =
+let group_by ?pool ?par_threshold rel ~keys ~func =
+  let threshold =
+    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
+  in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && Relation.cardinal rel >= threshold then
+    let key_positions =
+      Array.of_list
+        (List.map (Schema.position (Relation.schema rel)) keys)
+    in
+    group_by_parallel pool rel ~key_positions ~func
+  else begin
+    let schema = Relation.schema rel in
+    let idx = Index.build_on rel keys in
+    let out = ref [] in
+    Index.iter_groups
+      (fun key tuples -> out := (key, eval func schema tuples) :: !out)
+      idx;
+    !out
+  end
+
+let group_filter ?pool ?par_threshold rel ~keys ~func ~threshold =
   let out = Relation.create (Schema.restrict (Relation.schema rel) keys) in
   List.iter
     (fun (key, v) ->
       let x = numeric_exn "group_filter" v in
       if x >= threshold then Relation.add out key)
-    (group_by rel ~keys ~func);
+    (group_by ?pool ?par_threshold rel ~keys ~func);
   out

@@ -22,14 +22,30 @@ val pp_func : Format.formatter -> func -> unit
 val eval : func -> Schema.t -> Tuple.t list -> Value.t
 
 (** [group_by rel ~keys ~func] returns a list of
-    [(key_tuple, aggregate_value)] pairs, one per distinct key. *)
+    [(key_tuple, aggregate_value)] pairs, one per distinct key, in an
+    unspecified order.
+
+    Above [par_threshold] tuples (default
+    {!Qf_exec_pool.Pool.par_threshold}) on a pool of size > 1, rows are
+    hash-partitioned by key across the pool's domains and each partition
+    aggregates its own disjoint key set — same groups, same values (SUM
+    may associate float additions differently; exact on integer-valued
+    data). *)
 val group_by :
-  Relation.t -> keys:string list -> func:func -> (Tuple.t * Value.t) list
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
+  Relation.t ->
+  keys:string list ->
+  func:func ->
+  (Tuple.t * Value.t) list
 
 (** [group_filter rel ~keys ~func ~threshold] keeps the keys whose aggregate
     value is [>= threshold] (numeric comparison) and returns them as a
-    relation over [keys].  This is the FILTER step's core operation. *)
+    relation over [keys].  This is the FILTER step's core operation.
+    Parallel above the threshold, like {!group_by}. *)
 val group_filter :
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
   Relation.t ->
   keys:string list ->
   func:func ->

@@ -1,10 +1,50 @@
+(* {1 Index cache}
+
+   [Index.build] used to run from scratch on every join and FILTER step.
+   The cache memoizes built indexes keyed by (relation identity, indexed
+   positions) and remembers the relation version each entry was built
+   against: a lookup whose stored version no longer matches the live
+   relation is a miss and the rebuilt index replaces the stale entry, so
+   mutation through {!Relation.add} invalidates soundly and stale entries
+   never accumulate per (relation, positions) pair.
+
+   The cache is shared between a catalog and its {!copy}s — keys carry
+   the relation's own identity, so sharing across working copies is safe
+   and is exactly what lets one plan's FILTER steps, the optimizer's
+   candidate probes and the bench's per-support loops reuse each other's
+   work.  A small mutex guards the table; parallel kernels only read
+   indexes, never the cache. *)
+
+type index_cache = {
+  entries : (int * int list, int * Index.t) Hashtbl.t;
+  cache_mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Dead relations (temporary plan-execution results) leave at most one
+   entry per (id, positions); cap the table so pathological churn cannot
+   grow it without bound. *)
+let max_cache_entries = 1024
+
 type t = {
   relations : (string, Relation.t) Hashtbl.t;
   stats_cache : (string, Statistics.t) Hashtbl.t;
+  indexes : index_cache;
 }
 
 let create () =
-  { relations = Hashtbl.create 16; stats_cache = Hashtbl.create 16 }
+  {
+    relations = Hashtbl.create 16;
+    stats_cache = Hashtbl.create 16;
+    indexes =
+      {
+        entries = Hashtbl.create 64;
+        cache_mutex = Mutex.create ();
+        hits = 0;
+        misses = 0;
+      };
+  }
 
 let add t name rel =
   Hashtbl.replace t.relations name rel;
@@ -32,10 +72,46 @@ let stats t name =
     Hashtbl.replace t.stats_cache name s;
     s
 
+let index t rel positions =
+  let c = t.indexes in
+  let key = Relation.id rel, positions in
+  let current = Relation.version rel in
+  Mutex.lock c.cache_mutex;
+  let cached =
+    match Hashtbl.find_opt c.entries key with
+    | Some (version, idx) when version = current ->
+      c.hits <- c.hits + 1;
+      Some idx
+    | Some _ | None ->
+      c.misses <- c.misses + 1;
+      None
+  in
+  Mutex.unlock c.cache_mutex;
+  match cached with
+  | Some idx -> idx
+  | None ->
+    let idx = Index.build rel positions in
+    Mutex.lock c.cache_mutex;
+    if Hashtbl.length c.entries >= max_cache_entries then
+      Hashtbl.reset c.entries;
+    Hashtbl.replace c.entries key (current, idx);
+    Mutex.unlock c.cache_mutex;
+    idx
+
+let index_on t rel cols =
+  index t rel (List.map (Schema.position (Relation.schema rel)) cols)
+
+let index_stats t = t.indexes.hits, t.indexes.misses
+
+let reset_index_stats t =
+  t.indexes.hits <- 0;
+  t.indexes.misses <- 0
+
 let copy t =
   {
     relations = Hashtbl.copy t.relations;
     stats_cache = Hashtbl.copy t.stats_cache;
+    indexes = t.indexes;
   }
 
 let pp ppf t =

@@ -26,9 +26,27 @@ val names : t -> string list
 (** Cached statistics for a stored relation.  Raises [Not_found]. *)
 val stats : t -> string -> Statistics.t
 
+(** [index t rel positions] is [Index.build rel positions], memoized.
+    Entries are keyed by ({!Relation.id}, positions) and tagged with the
+    {!Relation.version} they were built against: mutating the relation
+    makes the entry stale and the next lookup rebuilds it.  The relation
+    need not be registered in the catalog. *)
+val index : t -> Relation.t -> int list -> Index.t
+
+(** Like {!index} with named columns. *)
+val index_on : t -> Relation.t -> string list -> Index.t
+
+(** [(hits, misses)] of the index cache since creation (or the last
+    {!reset_index_stats}). *)
+val index_stats : t -> int * int
+
+val reset_index_stats : t -> unit
+
 (** A shallow copy: the new catalog shares relations but registering in one
     does not affect the other.  Plan execution uses this to add temporary
-    [ok] relations without polluting the base catalog. *)
+    [ok] relations without polluting the base catalog.  The index cache
+    is shared with the copy (entries are keyed by relation identity, so
+    sharing is sound and lets working copies reuse built indexes). *)
 val copy : t -> t
 
 val pp : Format.formatter -> t -> unit

@@ -1,22 +1,28 @@
-type t = { positions : int list; groups : Tuple.t list Tuple.Table.t }
+type t = { positions : int array; groups : Tuple.t list ref Tuple.Table.t }
 
+(* Group lists live behind a ref cell so inserting into an existing group
+   is one cell mutation — the old [find_opt] + [replace] pattern paid two
+   hashtable traversals per tuple. *)
 let build rel positions =
+  let positions = Array.of_list positions in
   let groups = Tuple.Table.create (max 16 (Relation.cardinal rel / 4)) in
   Relation.iter
     (fun tup ->
       let key = Tuple.project positions tup in
-      let existing =
-        match Tuple.Table.find_opt groups key with Some l -> l | None -> []
-      in
-      Tuple.Table.replace groups key (tup :: existing))
+      match Tuple.Table.find_opt groups key with
+      | Some cell -> cell := tup :: !cell
+      | None -> Tuple.Table.add groups key (ref [ tup ]))
     rel;
   { positions; groups }
 
 let build_on rel cols =
   build rel (List.map (Schema.position (Relation.schema rel)) cols)
 
-let lookup t key =
-  match Tuple.Table.find_opt t.groups key with Some l -> l | None -> []
+let positions t = Array.to_list t.positions
 
+let lookup t key =
+  match Tuple.Table.find_opt t.groups key with Some l -> !l | None -> []
+
+let mem t key = Tuple.Table.mem t.groups key
 let key_count t = Tuple.Table.length t.groups
-let iter_groups f t = Tuple.Table.iter f t.groups
+let iter_groups f t = Tuple.Table.iter (fun key cell -> f key !cell) t.groups

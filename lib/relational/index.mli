@@ -1,8 +1,13 @@
 (** Hash indexes on a subset of a relation's columns.
 
-    An index maps a key (the tuple of values at the indexed positions) to the
-    list of tuples carrying that key.  Indexes are built eagerly and are not
-    maintained under later mutation of the source relation. *)
+    An index maps a key (the tuple of values at the indexed positions) to
+    the list of tuples carrying that key.  Indexes are built eagerly and
+    are not maintained under later mutation of the source relation — the
+    {!Catalog} index cache pairs each index with the relation version it
+    was built against and rebuilds when stale.
+
+    A built index is immutable, so concurrent lookups from several
+    domains are safe; the parallel join kernels rely on this. *)
 
 type t
 
@@ -12,9 +17,16 @@ val build : Relation.t -> int list -> t
 (** [build_on rel cols] indexes [rel] on the named columns. *)
 val build_on : Relation.t -> string list -> t
 
-(** Tuples whose indexed columns equal [key] (same order as the positions the
-    index was built on). *)
+(** The positions the index was built on. *)
+val positions : t -> int list
+
+(** Tuples whose indexed columns equal [key] (same order as the positions
+    the index was built on). *)
 val lookup : t -> Tuple.t -> Tuple.t list
+
+(** [mem idx key] — does any tuple carry this key?  Cheaper than
+    [lookup <> []] in spirit, identical in cost; provided for clarity. *)
+val mem : t -> Tuple.t -> bool
 
 (** Number of distinct keys. *)
 val key_count : t -> int

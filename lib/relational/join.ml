@@ -1,43 +1,109 @@
+module Pool = Qf_exec_pool.Pool
+
+(* Join-target positions, hoisted once into [int array]s so the per-tuple
+   work is pure array indexing (the old code re-ran the linear
+   [Schema.position] scan through intermediate lists). *)
 let positions_of_pairs a b pairs =
   let sa = Relation.schema a and sb = Relation.schema b in
-  ( List.map (fun (ca, _) -> Schema.position sa ca) pairs,
-    List.map (fun (_, cb) -> Schema.position sb cb) pairs )
+  ( Array.of_list (List.map (fun (ca, _) -> Schema.position sa ca) pairs),
+    Array.of_list (List.map (fun (_, cb) -> Schema.position sb cb) pairs) )
 
 (* Output columns of [b] that are not join targets, renamed on collision
-   with a column of [a]. *)
+   with a column of [a] — or with another output column: ["c"] from [b]
+   colliding with ["c"] from [a] becomes ["c_2"], and if ["c_2"] is also
+   taken (say [b] itself has a ["c_2"] column) the suffix escalates to
+   ["c_3"], ["c_4"], ... so the output schema never has duplicates. *)
 let residual_columns a b pairs =
   let sa = Relation.schema a and sb = Relation.schema b in
-  let joined = List.map snd pairs in
-  Schema.columns sb
-  |> List.filter (fun c -> not (List.mem c joined))
-  |> List.map (fun c -> c, if Schema.mem sa c then c ^ "_2" else c)
+  let joined = Hashtbl.create 8 in
+  List.iter (fun (_, cb) -> Hashtbl.replace joined cb ()) pairs;
+  let used = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace used c ()) (Schema.columns sa);
+  let residual_base =
+    List.filter (fun c -> not (Hashtbl.mem joined c)) (Schema.columns sb)
+  in
+  (* Names any residual keeps verbatim are reserved up front, so an early
+     rename cannot steal a later residual's own name. *)
+  List.iter
+    (fun c -> if not (Hashtbl.mem used c) then Hashtbl.replace used c ())
+    residual_base;
+  List.map
+    (fun c ->
+      let out =
+        if Schema.mem sa c then begin
+          let rec fresh i =
+            let candidate = Printf.sprintf "%s_%d" c i in
+            if Hashtbl.mem used candidate then fresh (i + 1) else candidate
+          in
+          let name = fresh 2 in
+          Hashtbl.replace used name ();
+          name
+        end
+        else c
+      in
+      c, out)
+    residual_base
 
-let equi a b pairs =
+let use_pool pool n threshold =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && n >= threshold then Some pool else None
+
+let threshold_of = function
+  | Some v -> v
+  | None -> Pool.par_threshold ()
+
+(* {1 Equi-join}
+
+   Build one hash index on [b], then probe with [a]'s tuples.  The
+   parallel path partitions the probe side into per-domain chunks, each
+   of which emits an ordered output list; the merge dedupes through the
+   result relation as usual.  The index is immutable during probing, so
+   concurrent lookups are safe. *)
+
+let equi ?pool ?par_threshold a b pairs =
   let pos_a, pos_b = positions_of_pairs a b pairs in
   let residual = residual_columns a b pairs in
   let sb = Relation.schema b in
-  let residual_pos = List.map (fun (c, _) -> Schema.position sb c) residual in
+  let residual_pos =
+    Array.of_list (List.map (fun (c, _) -> Schema.position sb c) residual)
+  in
   let out_schema =
     Schema.of_list (Schema.columns (Relation.schema a) @ List.map snd residual)
   in
   let out = Relation.create out_schema in
-  let idx = Index.build b pos_b in
-  Relation.iter
-    (fun ta ->
-      let key = Tuple.project pos_a ta in
-      List.iter
-        (fun tb ->
-          Relation.add out (Tuple.append ta (Tuple.project residual_pos tb)))
-        (Index.lookup idx key))
-    a;
+  let idx = Index.build b (Array.to_list pos_b) in
+  let probe ta emit =
+    let key = Tuple.project pos_a ta in
+    List.iter
+      (fun tb -> emit (Tuple.append ta (Tuple.project residual_pos tb)))
+      (Index.lookup idx key)
+  in
+  (match use_pool pool (Relation.cardinal a) (threshold_of par_threshold) with
+  | None -> Relation.iter (fun ta -> probe ta (Relation.add out)) a
+  | Some pool ->
+    let tuples = Relation.to_array a in
+    let produced =
+      Pool.run_chunks pool ~n:(Array.length tuples) (fun ~lo ~hi ->
+          let acc = ref [] in
+          for i = lo to hi - 1 do
+            probe tuples.(i) (fun tup -> acc := tup :: !acc)
+          done;
+          !acc)
+    in
+    List.iter (List.iter (Relation.add out)) produced);
   out
 
-let filter_by_presence ~keep_matching a b pairs =
+(* {1 Semi/anti joins} — membership filters over the probe side. *)
+
+let filter_by_presence ?pool ?par_threshold ~keep_matching a b pairs =
   let pos_a, pos_b = positions_of_pairs a b pairs in
-  let idx = Index.build b pos_b in
-  Relation.select a (fun ta ->
-      let found = Index.lookup idx (Tuple.project pos_a ta) <> [] in
+  let idx = Index.build b (Array.to_list pos_b) in
+  Relation.select ?pool ?par_threshold a (fun ta ->
+      let found = Index.mem idx (Tuple.project pos_a ta) in
       if keep_matching then found else not found)
 
-let semi a b pairs = filter_by_presence ~keep_matching:true a b pairs
-let anti a b pairs = filter_by_presence ~keep_matching:false a b pairs
+let semi ?pool ?par_threshold a b pairs =
+  filter_by_presence ?pool ?par_threshold ~keep_matching:true a b pairs
+
+let anti ?pool ?par_threshold a b pairs =
+  filter_by_presence ?pool ?par_threshold ~keep_matching:false a b pairs

@@ -3,18 +3,44 @@
     The Datalog evaluator performs its own binding-passing joins; these
     free-standing operators serve the relational layer's own users (tests,
     the classic a-priori miner, CSV tooling) and the anti-join used to
-    implement negated subgoals. *)
+    implement negated subgoals.
+
+    Each operator builds one hash index on [b] and probes it with [a]'s
+    tuples.  Above a cardinality threshold (default
+    {!Qf_exec_pool.Pool.par_threshold}) and on a pool of size > 1, the
+    probe side is partitioned across the pool's domains; the merged
+    result is the same set as the sequential path. *)
 
 (** [equi a b pairs] is the equi-join of [a] and [b] on the column pairs
-    [(col_of_a, col_of_b)].  The result schema is [a]'s columns followed by
-    [b]'s columns that are not join targets; duplicate output names from [b]
-    are suffixed with ['_2].  An empty [pairs] yields the cross product. *)
-val equi : Relation.t -> Relation.t -> (string * string) list -> Relation.t
+    [(col_of_a, col_of_b)].  The result schema is [a]'s columns followed
+    by [b]'s columns that are not join targets; duplicate output names
+    from [b] are suffixed with ['_2'] (escalating to ['_3'], ... if the
+    suffixed name is itself taken, so the output schema never contains a
+    duplicate).  An empty [pairs] yields the cross product. *)
+val equi :
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
+  Relation.t ->
+  Relation.t ->
+  (string * string) list ->
+  Relation.t
 
 (** [semi a b pairs] keeps the tuples of [a] that join with at least one
     tuple of [b]. *)
-val semi : Relation.t -> Relation.t -> (string * string) list -> Relation.t
+val semi :
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
+  Relation.t ->
+  Relation.t ->
+  (string * string) list ->
+  Relation.t
 
-(** [anti a b pairs] keeps the tuples of [a] that join with no tuple of [b]
-    — the evaluation of a negated subgoal. *)
-val anti : Relation.t -> Relation.t -> (string * string) list -> Relation.t
+(** [anti a b pairs] keeps the tuples of [a] that join with no tuple of
+    [b] — the evaluation of a negated subgoal. *)
+val anti :
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
+  Relation.t ->
+  Relation.t ->
+  (string * string) list ->
+  Relation.t

@@ -1,6 +1,27 @@
-type t = { schema : Schema.t; tuples : unit Tuple.Table.t }
+module Pool = Qf_exec_pool.Pool
 
-let create schema = { schema; tuples = Tuple.Table.create 64 }
+type t = {
+  id : int;
+  schema : Schema.t;
+  tuples : unit Tuple.Table.t;
+  mutable version : int;
+}
+
+(* Identity for the catalog's index cache: ids are process-unique, and
+   [version] bumps on every successful insertion, so (id, version) names
+   one immutable snapshot of the tuple set. *)
+let next_id = Atomic.make 0
+
+let create schema =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    schema;
+    tuples = Tuple.Table.create 64;
+    version = 0;
+  }
+
+let id t = t.id
+let version t = t.version
 let schema t = t.schema
 let arity t = Schema.arity t.schema
 let cardinal t = Tuple.Table.length t.tuples
@@ -11,13 +32,36 @@ let add t tup =
     invalid_arg
       (Printf.sprintf "Relation.add: arity mismatch (%d vs %d)"
          (Tuple.arity tup) (arity t));
-  if not (Tuple.Table.mem t.tuples tup) then Tuple.Table.add t.tuples tup ()
+  if not (Tuple.Table.mem t.tuples tup) then begin
+    Tuple.Table.add t.tuples tup ();
+    t.version <- t.version + 1
+  end
+
+(* Internal: insert a tuple known to be absent and of the right arity
+   (parallel kernels dedupe per hash partition before merging). *)
+let unsafe_add_new t tup =
+  Tuple.Table.add t.tuples tup ();
+  t.version <- t.version + 1
 
 let mem t tup = Tuple.Table.mem t.tuples tup
 let iter f t = Tuple.Table.iter (fun tup () -> f tup) t.tuples
 let fold f t init = Tuple.Table.fold (fun tup () acc -> f tup acc) t.tuples init
 let to_list t = fold List.cons t []
 let to_sorted_list t = List.sort Tuple.compare (to_list t)
+
+let to_array t =
+  let n = cardinal t in
+  if n = 0 then [||]
+  else begin
+    let dst = Array.make n (Tuple.of_array [||]) in
+    let i = ref 0 in
+    iter
+      (fun tup ->
+        dst.(!i) <- tup;
+        incr i)
+      t;
+    dst
+  end
 
 let of_list schema tuples =
   let rel = create schema in
@@ -27,15 +71,61 @@ let of_list schema tuples =
 let of_values columns rows =
   of_list (Schema.of_list columns) (List.map Tuple.of_list rows)
 
-let project t cols =
-  let positions = List.map (Schema.position t.schema) cols in
-  let out = create (Schema.restrict t.schema cols) in
-  iter (fun tup -> add out (Tuple.project positions tup)) t;
+(* {1 Parallel scan kernels}
+
+   [select] and [project] partition the tuple array across the pool; each
+   chunk produces an ordered list of outputs and the caller merges them.
+   Selection preserves distinctness, so the merge can insert without
+   membership probes; projection must still dedupe.  Both fall back to
+   the plain sequential scan below [Pool.par_threshold] or on a pool of
+   size 1, so results are identical sets either way. *)
+
+let use_pool pool n threshold =
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && n >= threshold then Some pool else None
+
+let select ?pool ?par_threshold t pred =
+  let out = create t.schema in
+  let threshold =
+    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
+  in
+  (match use_pool pool (cardinal t) threshold with
+  | None -> iter (fun tup -> if pred tup then unsafe_add_new out tup) t
+  | Some pool ->
+    let tuples = to_array t in
+    let kept =
+      Pool.run_chunks pool ~n:(Array.length tuples) (fun ~lo ~hi ->
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            let tup = tuples.(i) in
+            if pred tup then acc := tup :: !acc
+          done;
+          !acc)
+    in
+    List.iter (List.iter (unsafe_add_new out)) kept);
   out
 
-let select t pred =
-  let out = create t.schema in
-  iter (fun tup -> if pred tup then add out tup) t;
+let project ?pool ?par_threshold t cols =
+  let positions =
+    Array.of_list (List.map (Schema.position t.schema) cols)
+  in
+  let out = create (Schema.restrict t.schema cols) in
+  let threshold =
+    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
+  in
+  (match use_pool pool (cardinal t) threshold with
+  | None -> iter (fun tup -> add out (Tuple.project positions tup)) t
+  | Some pool ->
+    let tuples = to_array t in
+    let projected =
+      Pool.run_chunks pool ~n:(Array.length tuples) (fun ~lo ~hi ->
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            acc := Tuple.project positions tuples.(i) :: !acc
+          done;
+          !acc)
+    in
+    List.iter (List.iter (add out)) projected);
   out
 
 let union a b =
@@ -48,7 +138,7 @@ let union a b =
 let diff a b =
   if arity a <> arity b then invalid_arg "Relation.diff: arity mismatch";
   let out = create a.schema in
-  iter (fun tup -> if not (mem b tup) then add out tup) a;
+  iter (fun tup -> if not (mem b tup) then unsafe_add_new out tup) a;
   out
 
 let column_values t col =
@@ -56,7 +146,7 @@ let column_values t col =
   let seen = Hashtbl.create 64 in
   fold
     (fun tup acc ->
-      let v = tup.(pos) in
+      let v = Tuple.get tup pos in
       let key = Value.hash v, v in
       if Hashtbl.mem seen key then acc
       else begin

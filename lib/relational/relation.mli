@@ -10,6 +10,15 @@ type t
 (** An empty, mutable relation with the given schema. *)
 val create : Schema.t -> t
 
+(** A process-unique identity, assigned at {!create}.  Together with
+    {!version} it keys the catalog's index cache. *)
+val id : t -> int
+
+(** Monotonic modification counter: bumped on every insertion that
+    actually changes the tuple set.  Cached indexes built against an
+    older version are stale. *)
+val version : t -> int
+
 val schema : t -> Schema.t
 val arity : t -> int
 val cardinal : t -> int
@@ -29,16 +38,32 @@ val to_list : t -> Tuple.t list
 (** Tuples sorted by {!Tuple.compare}; convenient for golden tests. *)
 val to_sorted_list : t -> Tuple.t list
 
+(** Tuples in an unspecified order, as a fresh array (the parallel
+    kernels' chunking substrate). *)
+val to_array : t -> Tuple.t array
+
 val of_list : Schema.t -> Tuple.t list -> t
 
 (** Convenience: build from lists of value lists. *)
 val of_values : string list -> Value.t list list -> t
 
-(** [project rel cols] projects (with duplicate elimination) onto [cols]. *)
-val project : t -> string list -> t
+(** [project rel cols] projects (with duplicate elimination) onto [cols].
+    Runs on [pool] (default: the shared pool) when the relation has at
+    least [par_threshold] tuples (default {!Qf_exec_pool.Pool.par_threshold})
+    and the pool has size > 1; otherwise sequential.  The result set is
+    identical either way. *)
+val project :
+  ?pool:Qf_exec_pool.Pool.t -> ?par_threshold:int -> t -> string list -> t
 
-(** [select rel pred] keeps tuples satisfying [pred]. *)
-val select : t -> (Tuple.t -> bool) -> t
+(** [select rel pred] keeps tuples satisfying [pred].  Parallel above the
+    threshold, like {!project}; [pred] must then be pure and safe to call
+    from several domains. *)
+val select :
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
+  t ->
+  (Tuple.t -> bool) ->
+  t
 
 (** Set union; schemas must have equal arity (result keeps [a]'s schema). *)
 val union : t -> t -> t

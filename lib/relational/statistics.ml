@@ -14,13 +14,13 @@ let of_relation rel =
   let tables = Array.init arity (fun _ -> Hashtbl.create 64) in
   Relation.iter
     (fun tup ->
-      Array.iteri
-        (fun i v ->
-          let table = tables.(i) in
-          let key = Value.hash v, v in
-          let n = match Hashtbl.find_opt table key with Some n -> n | None -> 0 in
-          Hashtbl.replace table key (n + 1))
-        tup)
+      for i = 0 to Tuple.arity tup - 1 do
+        let v = Tuple.get tup i in
+        let table = tables.(i) in
+        let key = Value.hash v, v in
+        let n = match Hashtbl.find_opt table key with Some n -> n | None -> 0 in
+        Hashtbl.replace table key (n + 1)
+      done)
     rel;
   let columns =
     List.mapi

@@ -1,24 +1,42 @@
-(** Tuples: immutable arrays of {!Value.t}.
+(** Tuples: immutable sequences of {!Value.t} with a hash cached at
+    construction.
 
-    Callers must not mutate a tuple after handing it to a {!Relation} or
-    {!Index}; the hash tables key on its contents. *)
+    The cached hash makes every hashtable probe O(1) instead of O(arity)
+    and gives {!equal} a constant-time negative fast path — the dominant
+    operations of the join and aggregation kernels.  Construction always
+    copies or freshly allocates the backing array; callers of {!of_array}
+    transfer ownership and must not mutate the array afterwards. *)
 
-type t = Value.t array
+type t
 
 val arity : t -> int
+
+(** [get t i] is the value at position [i].  Raises [Invalid_argument]
+    out of range. *)
+val get : t -> int -> Value.t
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+(** The hash cached at construction (compatible with {!equal}). *)
 val hash : t -> int
 
 (** [project positions tup] extracts the values at [positions], in order.
-    Raises [Invalid_argument] if a position is out of range. *)
-val project : int list -> t -> t
+    Positions are a pre-computed [int array] so hot paths hoist the
+    schema lookups once.  Raises [Invalid_argument] if a position is out
+    of range. *)
+val project : int array -> t -> t
 
 (** [append a b] concatenates two tuples. *)
 val append : t -> t -> t
 
+(** [of_array values] takes ownership of [values] — do not mutate it
+    afterwards. *)
+val of_array : Value.t array -> t
+
 val of_list : Value.t list -> t
 val to_list : t -> Value.t list
+val to_seq : t -> Value.t Seq.t
 val pp : Format.formatter -> t -> unit
 
 (** Hash tables keyed by tuples. *)

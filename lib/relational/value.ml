@@ -3,6 +3,35 @@ type t =
   | Str of string
   | Real of float
 
+(* {1 String interning}
+
+   String-keyed workloads (items, symptoms, words) compare the same small
+   set of strings over and over in hash probes.  Interning maps every
+   distinct string to one canonical copy so equality can try pointer
+   comparison before falling back to [String.equal].  The table is guarded
+   by a mutex because tuple kernels may construct values on worker
+   domains; [equal] itself never touches the table, so the fast path stays
+   lock-free.  Interning is an optimization, not an invariant: [Str]
+   values built without {!str} still compare correctly. *)
+
+let intern_table : (string, string) Hashtbl.t = Hashtbl.create 1024
+let intern_mutex = Mutex.create ()
+
+let intern s =
+  Mutex.lock intern_mutex;
+  let canonical =
+    match Hashtbl.find_opt intern_table s with
+    | Some c -> c
+    | None ->
+      Hashtbl.add intern_table s s;
+      s
+  in
+  Mutex.unlock intern_mutex;
+  canonical
+
+let str s = Str (intern s)
+let interned_count () = Hashtbl.length intern_table
+
 let compare a b =
   match a, b with
   | Int x, Int y -> Int.compare x y
@@ -18,9 +47,11 @@ let compare a b =
   | Str _, (Int _ | Real _) -> 1
 
 let equal a b =
+  a == b
+  ||
   match a, b with
   | Int x, Int y -> Int.equal x y
-  | Str x, Str y -> String.equal x y
+  | Str x, Str y -> x == y || String.equal x y
   | Real x, Real y -> Float.equal x y
   | _, _ -> false
 
@@ -45,9 +76,9 @@ let to_string v = Format.asprintf "%a" pp v
 
 let of_string s =
   let n = String.length s in
-  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then Str (String.sub s 1 (n - 2))
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then str (String.sub s 1 (n - 2))
   else
     match int_of_string_opt s with
     | Some i -> Int i
     | None -> (
-      match float_of_string_opt s with Some f -> Real f | None -> Str s)
+      match float_of_string_opt s with Some f -> Real f | None -> str s)

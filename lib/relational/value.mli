@@ -16,8 +16,18 @@ type t =
     [Int] first) and every number precedes every string. *)
 val compare : t -> t -> int
 
-(** Structural equality: values of different kinds are never equal. *)
+(** Structural equality: values of different kinds are never equal.
+    Pointer-first: interned strings (see {!str}) usually decide with a
+    physical comparison. *)
 val equal : t -> t -> bool
+
+(** [str s] is [Str (intern s)]: the canonical copy of [s], shared by
+    every value built through {!str} or {!of_string}.  Equality between
+    interned strings is (usually) a pointer comparison.  Thread-safe. *)
+val str : string -> t
+
+(** Number of distinct strings interned so far (for diagnostics). *)
+val interned_count : unit -> int
 
 (** Hash compatible with {!equal}. *)
 val hash : t -> int

@@ -65,12 +65,13 @@ let decode_value bytes off =
   | '\002' ->
     let len, off = decode_u32 bytes (off + 1) in
     if off + len > Bytes.length bytes then corrupt "Codec: truncated string";
-    Value.Str (Bytes.sub_string bytes off len), off + len
+    (* Intern on decode: loaded relations get pointer-fast equality. *)
+    Value.str (Bytes.sub_string bytes off len), off + len
   | c -> corrupt "Codec: bad value tag %C" c
 
 let encode_tuple buf tup =
   encode_u16 buf (Tuple.arity tup);
-  Array.iter (encode_value buf) tup
+  Seq.iter (encode_value buf) (Tuple.to_seq tup)
 
 let decode_tuple bytes off =
   let arity, off = decode_u16 bytes off in
@@ -81,7 +82,7 @@ let decode_tuple bytes off =
     values.(i) <- v;
     off := next
   done;
-  values, !off
+  Tuple.of_array values, !off
 
 let tuple_to_string tup =
   let buf = Buffer.create 64 in

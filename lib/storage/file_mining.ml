@@ -25,7 +25,7 @@ let frequent_pairs file ~support =
   let seen : (Value.t * Value.t, unit) Vtbl.t = Vtbl.create 4096 in
   Heap_file.iter
     (fun tup ->
-      let b = tup.(0) and item = tup.(1) in
+      let b = Tuple.get tup 0 and item = Tuple.get tup 1 in
       if not (Vtbl.mem seen (b, item)) then begin
         Vtbl.add seen (b, item) ();
         Vtbl.replace item_counts item
@@ -43,7 +43,7 @@ let frequent_pairs file ~support =
   let baskets : (Value.t, Value.t list) Vtbl.t = Vtbl.create 4096 in
   Heap_file.iter
     (fun tup ->
-      let b = tup.(0) and item = tup.(1) in
+      let b = Tuple.get tup 0 and item = Tuple.get tup 1 in
       if frequent item then begin
         let existing = Option.value (Vtbl.find_opt baskets b) ~default:[] in
         if not (List.exists (Value.equal item) existing) then
@@ -79,6 +79,6 @@ let frequent_pairs file ~support =
 let frequent_pairs_relation file ~support =
   let out = Relation.create (Schema.of_list [ "$1"; "$2" ]) in
   List.iter
-    (fun { item1; item2; _ } -> Relation.add out [| item1; item2 |])
+    (fun { item1; item2; _ } -> Relation.add out (Tuple.of_array [| item1; item2 |]))
     (frequent_pairs file ~support);
   out

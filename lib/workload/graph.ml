@@ -25,7 +25,8 @@ let generate config =
     let degree = Zipf.sample degree_dist rng in
     for _ = 1 to degree do
       let y = 1 + Rng.int rng config.n_nodes in
-      Relation.add arc [| Value.Int x; Value.Int y |]
+      Relation.add arc
+        (Qf_relational.Tuple.of_array [| Value.Int x; Value.Int y |])
     done
   done;
   let catalog = Catalog.create () in

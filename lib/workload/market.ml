@@ -2,6 +2,7 @@ module Relation = Qf_relational.Relation
 module Schema = Qf_relational.Schema
 module Value = Qf_relational.Value
 module Catalog = Qf_relational.Catalog
+module Tuple = Qf_relational.Tuple
 
 type config = {
   n_baskets : int;
@@ -29,7 +30,7 @@ let relation config =
     let size = 1 + Rng.int rng (max 1 ((2 * config.avg_basket_size) - 1)) in
     for _ = 1 to size do
       let item = Zipf.sample zipf rng in
-      Relation.add rel [| Value.Int bid; Value.Int item |]
+      Relation.add rel (Tuple.of_array [| Value.Int bid; Value.Int item |])
     done
   done;
   rel
@@ -48,13 +49,16 @@ let relation_with_patterns config ~n_patterns ~pattern_size ~rate =
   for bid = 1 to config.n_baskets do
     let size = 1 + Rng.int rng (max 1 ((2 * config.avg_basket_size) - 1)) in
     for _ = 1 to size do
-      Relation.add rel [| Value.Int bid; Value.Int (Zipf.sample zipf rng) |]
+      Relation.add rel
+        (Tuple.of_array [| Value.Int bid; Value.Int (Zipf.sample zipf rng) |])
     done;
     List.iter
       (fun pattern ->
         if Rng.bool rng rate then
           List.iter
-            (fun item -> Relation.add rel [| Value.Int bid; Value.Int item |])
+            (fun item ->
+              Relation.add rel
+                (Tuple.of_array [| Value.Int bid; Value.Int item |]))
             pattern)
       patterns
   done;
@@ -71,7 +75,8 @@ let catalog_with_importance ?(pred = "baskets") ?(max_weight = 10) config =
   let importance = Relation.create (Schema.of_list [ "BID"; "W" ]) in
   for bid = 1 to config.n_baskets do
     Relation.add importance
-      [| Value.Int bid; Value.Int (1 + Rng.int rng max_weight) |]
+      (Tuple.of_array
+         [| Value.Int bid; Value.Int (1 + Rng.int rng max_weight) |])
   done;
   Catalog.add cat "importance" importance;
   cat

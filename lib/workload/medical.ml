@@ -2,6 +2,7 @@ module Relation = Qf_relational.Relation
 module Schema = Qf_relational.Schema
 module Value = Qf_relational.Value
 module Catalog = Qf_relational.Catalog
+module Tuple = Qf_relational.Tuple
 
 type config = {
   n_patients : int;
@@ -81,7 +82,8 @@ let generate config =
   let causes = Relation.create (Schema.of_list [ "Disease"; "Symptom" ]) in
   for d = 1 to config.n_diseases do
     List.iter
-      (fun s -> Relation.add causes [| disease d; symptom s |])
+      (fun s ->
+        Relation.add causes (Tuple.of_array [| disease d; symptom s |]))
       caused.(d)
   done;
   for p = 1 to config.n_patients do
@@ -92,28 +94,31 @@ let generate config =
     in
     List.iter
       (fun d ->
-        Relation.add diagnoses [| patient p; disease d |];
+        Relation.add diagnoses (Tuple.of_array [| patient p; disease d |]);
         List.iter
           (fun s ->
             if Rng.bool rng 0.8 then
-              Relation.add exhibits [| patient p; symptom s |])
+              Relation.add exhibits (Tuple.of_array [| patient p; symptom s |]))
           caused.(d);
-        Relation.add treatments [| patient p; medicine indicated.(d) |];
+        Relation.add treatments
+          (Tuple.of_array [| patient p; medicine indicated.(d) |]);
         (* Planted effects fire for patients of the planted disease (who
            all take its indicated medicine). *)
         List.iter
           (fun (pd, _m, s) ->
             if pd = d && Rng.bool rng config.side_effect_rate then
-              Relation.add exhibits [| patient p; symptom s |])
+              Relation.add exhibits (Tuple.of_array [| patient p; symptom s |]))
           planted)
       patient_diseases;
     for _ = 1 to config.background_symptoms do
       Relation.add exhibits
-        [| patient p; symptom (Zipf.sample symptom_dist rng) |]
+        (Tuple.of_array
+           [| patient p; symptom (Zipf.sample symptom_dist rng) |])
     done;
     for _ = 1 to config.background_medicines do
       Relation.add treatments
-        [| patient p; medicine (Zipf.sample medicine_dist rng) |]
+        (Tuple.of_array
+           [| patient p; medicine (Zipf.sample medicine_dist rng) |])
     done
   done;
   let catalog = Catalog.create () in

@@ -2,6 +2,7 @@ module Relation = Qf_relational.Relation
 module Schema = Qf_relational.Schema
 module Value = Qf_relational.Value
 module Catalog = Qf_relational.Catalog
+module Tuple = Qf_relational.Tuple
 
 type config = {
   n_docs : int;
@@ -46,7 +47,8 @@ let generate config =
     done;
     titles.(d) <- List.sort_uniq Int.compare !words;
     List.iter
-      (fun w -> Relation.add in_title [| Value.Int d; word w |])
+      (fun w ->
+        Relation.add in_title (Tuple.of_array [| Value.Int d; word w |]))
       titles.(d)
   done;
   (* Anchors: id space disjoint from documents. *)
@@ -54,7 +56,8 @@ let generate config =
     let a = config.n_docs + i in
     let source = 1 + Rng.int rng config.n_docs in
     let target = Zipf.sample target_dist rng in
-    Relation.add link [| Value.Int a; Value.Int source; Value.Int target |];
+    Relation.add link
+      (Tuple.of_array [| Value.Int a; Value.Int source; Value.Int target |]);
     for _ = 1 to config.anchor_words do
       let w =
         if Rng.bool rng config.anchor_affinity && titles.(target) <> [] then begin
@@ -63,7 +66,7 @@ let generate config =
         end
         else Zipf.sample word_dist rng
       in
-      Relation.add in_anchor [| Value.Int a; word w |]
+      Relation.add in_anchor (Tuple.of_array [| Value.Int a; word w |])
     done
   done;
   let catalog = Catalog.create () in

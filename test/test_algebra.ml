@@ -24,7 +24,7 @@ let test_equi_join () =
   check_bool "schema drops join target" true
     (Schema.equal (Relation.schema j) (Schema.of_list [ "Emp"; "Dept"; "Budget" ]));
   check_bool "ann row" true
-    (Relation.mem j [| Value.Str "ann"; Value.Str "eng"; Value.Int 100 |])
+    (Relation.mem j (Qf_relational.Tuple.of_array [| Value.Str "ann"; Value.Str "eng"; Value.Int 100 |]))
 
 let test_join_renames_collisions () =
   let a = Relation.of_values [ "X"; "N" ] Value.[ [ Int 1; Int 5 ] ] in
@@ -43,12 +43,12 @@ let test_semi_anti () =
   let a = Join.anti employees budgets [ "Dept", "Dept" ] in
   check_int "anti keeps unmatched" 1 (Relation.cardinal a);
   check_bool "dan has no budget" true
-    (Relation.mem a [| Value.Str "dan"; Value.Str "hr" |])
+    (Relation.mem a (Qf_relational.Tuple.of_array [| Value.Str "dan"; Value.Str "hr" |]))
 
 let test_aggregate_eval () =
   let schema = Schema.of_list [ "X"; "W" ] in
   let tuples =
-    [ [| Value.Int 1; Value.Int 10 |]; [| Value.Int 2; Value.Int 30 |] ]
+    [ (Qf_relational.Tuple.of_array [| Value.Int 1; Value.Int 10 |]); (Qf_relational.Tuple.of_array [| Value.Int 2; Value.Int 30 |]) ]
   in
   check_bool "count" true
     (Value.equal (Aggregate.eval Count schema tuples) (Real 2.));
@@ -66,7 +66,7 @@ let test_aggregate_errors () =
       ignore (Aggregate.eval Count schema []));
   Alcotest.check_raises "sum of strings"
     (Invalid_argument "Aggregate.sum: non-numeric value \"a\"") (fun () ->
-      ignore (Aggregate.eval (Sum "X") schema [ [| Value.Str "a" |] ]))
+      ignore (Aggregate.eval (Sum "X") schema [ (Qf_relational.Tuple.of_array [| Value.Str "a" |]) ]))
 
 let test_group_filter () =
   let r =
@@ -81,7 +81,7 @@ let test_group_filter () =
   in
   let out = Aggregate.group_filter r ~keys:[ "G" ] ~func:Count ~threshold:2. in
   check_int "one group passes" 1 (Relation.cardinal out);
-  check_bool "group a" true (Relation.mem out [| Value.Str "a" |]);
+  check_bool "group a" true (Relation.mem out (Qf_relational.Tuple.of_array [| Value.Str "a" |]));
   let sums = Aggregate.group_filter r ~keys:[ "G" ] ~func:(Sum "V") ~threshold:6. in
   check_int "sum filter" 1 (Relation.cardinal sums)
 
@@ -94,7 +94,7 @@ let test_group_by_counts () =
   check_int "two groups" 2 (List.length groups);
   let find key =
     List.assoc_opt true
-      (List.map (fun (k, v) -> Tuple.equal k [| Value.Str key |], v) groups)
+      (List.map (fun (k, v) -> Tuple.equal k (Qf_relational.Tuple.of_array [| Value.Str key |]), v) groups)
   in
   check_bool "count a = 2" true (find "a" = Some (Value.Real 2.));
   check_bool "count b = 1" true (find "b" = Some (Value.Real 1.))

@@ -140,7 +140,7 @@ let test_classic_vs_flock () =
       List.iter
         (fun f ->
           let tuple =
-            Array.of_list
+            Qf_relational.Tuple.of_list
               (List.map (fun i -> V.Int i) (Itemset.to_list f.Apriori.itemset))
           in
           check_bool "itemset present in flock result" true

@@ -124,7 +124,7 @@ let test_union_crosses_branches () =
   in
   let direct = Direct.run cat flock in
   check_bool "union-only assignment passes directly" true
-    (R.mem direct [| V.Int 7 |]);
+    (R.mem direct (Qf_relational.Tuple.of_array [| V.Int 7 |]));
   (* Force the most aggressive filtering so a naive per-branch prune would
      kill $a = 7. *)
   let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9 } in

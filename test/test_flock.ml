@@ -105,7 +105,7 @@ let test_direct_baskets () =
      in 3,4 = 2.  Only (beer, diapers) passes. *)
   check_int "one pair" 1 (R.cardinal result);
   check_bool "beer-diapers" true
-    (R.mem result [| V.Str "beer"; V.Str "diapers" |])
+    (R.mem result (Qf_relational.Tuple.of_array [| V.Str "beer"; V.Str "diapers" |]))
 
 let test_direct_threshold_2 () =
   let cat = basket_catalog () in
@@ -131,7 +131,7 @@ let test_medical_direct () =
      medicine 100. Symptom 10 is explained for them.  Patient 3's symptom 20
      is explained by disease 2. *)
   check_int "one side effect" 1 (R.cardinal result);
-  check_bool "(m=100, s=20)" true (R.mem result [| V.Int 100; V.Int 20 |]);
+  check_bool "(m=100, s=20)" true (R.mem result (Qf_relational.Tuple.of_array [| V.Int 100; V.Int 20 |]));
   Alcotest.check Test_util.relation "naive agrees" result (Naive.run cat flock)
 
 let test_medical_result_columns () =
@@ -164,7 +164,7 @@ COUNT(answer(*)) >= 3|}
   (* (1,2): title doc1 (1) + anchor10(word1)->doc1 title word2 (1) + anchor11
      (word2)->doc1 title word1 (1) = 3 sources. *)
   check_int "one pair" 1 (R.cardinal result);
-  check_bool "(1,2)" true (R.mem result [| V.Int 1; V.Int 2 |]);
+  check_bool "(1,2)" true (R.mem result (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 2 |]));
   Alcotest.check Test_util.relation "naive agrees on unions" result
     (Naive.run cat flock)
 
@@ -192,8 +192,8 @@ SUM(answer.W) >= 11|}
   (* beer+diapers: baskets 1,2,4 weights 10+1+1=12 >= 11.
      chips+diapers: 4,5 -> 1+10=11 >= 11. beer+chips: 3,4 -> 2. *)
   check_int "two weighted pairs" 2 (R.cardinal result);
-  check_bool "beer-diapers" true (R.mem result [| V.Str "beer"; V.Str "diapers" |]);
-  check_bool "chips-diapers" true (R.mem result [| V.Str "chips"; V.Str "diapers" |]);
+  check_bool "beer-diapers" true (R.mem result (Qf_relational.Tuple.of_array [| V.Str "beer"; V.Str "diapers" |]));
+  check_bool "chips-diapers" true (R.mem result (Qf_relational.Tuple.of_array [| V.Str "chips"; V.Str "diapers" |]));
   Alcotest.check Test_util.relation "naive agrees on SUM" result
     (Naive.run cat flock)
 

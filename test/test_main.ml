@@ -25,5 +25,6 @@ let () =
       "sequence", Test_sequence.suite;
       "golden", Test_golden.suite;
       "lint", Test_lint.suite;
+      "parallel", Test_parallel.suite;
       "properties", Test_props.suite;
     ]

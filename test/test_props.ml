@@ -227,7 +227,10 @@ let prop_fixpoint_transitive_closure =
           let next =
             R.fold
               (fun tup acc ->
-                R.add acc [| tup.(0); tup.(2) |];
+                R.add acc
+                  (Qf_relational.Tuple.of_array
+                     [| Qf_relational.Tuple.get tup 0;
+                        Qf_relational.Tuple.get tup 2 |]);
                 acc)
               step (R.union !closure (R.of_values [ "X"; "Y" ] []))
           in
@@ -278,7 +281,9 @@ let prop_subquery_upper_bound =
                     | _ -> assert false)
                   keys
               in
-              let projected = Qf_relational.Tuple.project positions full_key in
+              let projected =
+                Qf_relational.Tuple.project (Array.of_list positions) full_key
+              in
               match
                 List.find_opt
                   (fun (k, _) -> Qf_relational.Tuple.equal k projected)

@@ -4,7 +4,7 @@ open Qf_relational
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
-let t ints = Array.of_list (List.map (fun i -> Value.Int i) ints)
+let t ints = Tuple.of_list (List.map (fun i -> Value.Int i) ints)
 
 let test_tuple_compare () =
   check_int "equal" 0 (Tuple.compare (t [ 1; 2 ]) (t [ 1; 2 ]));
@@ -16,13 +16,13 @@ let test_tuple_compare () =
 let test_tuple_project_append () =
   Alcotest.(check bool)
     "project reorders" true
-    (Tuple.equal (Tuple.project [ 1; 0 ] (t [ 7; 8 ])) (t [ 8; 7 ]));
+    (Tuple.equal (Tuple.project [| 1; 0 |] (t [ 7; 8 ])) (t [ 8; 7 ]));
   Alcotest.(check bool)
     "append" true
     (Tuple.equal (Tuple.append (t [ 1 ]) (t [ 2; 3 ])) (t [ 1; 2; 3 ]));
   Alcotest.check_raises "project out of range"
     (Invalid_argument "index out of bounds")
-    (fun () -> ignore (Tuple.project [ 5 ] (t [ 1 ])))
+    (fun () -> ignore (Tuple.project [| 5 |] (t [ 1 ])))
 
 let test_schema_basics () =
   let s = Schema.of_list [ "A"; "B"; "C" ] in
@@ -72,7 +72,7 @@ let test_relation_select_union_diff () =
   let s = Relation.of_values [ "X" ] Value.[ [ Int 2 ]; [ Int 4 ] ] in
   let even =
     Relation.select r (fun tup ->
-        match tup.(0) with Value.Int i -> i mod 2 = 0 | _ -> false)
+        match Tuple.get tup 0 with Value.Int i -> i mod 2 = 0 | _ -> false)
   in
   check_int "select" 1 (Relation.cardinal even);
   check_int "union dedups" 4 (Relation.cardinal (Relation.union r s));
@@ -108,7 +108,8 @@ let test_index () =
   check_int "missing key" 0 (List.length (Index.lookup idx (t [ 9 ])));
   (* Empty column list: everything shares the empty key (cross product). *)
   let all = Index.build_on r [] in
-  check_int "empty key groups all" 3 (List.length (Index.lookup all [||]))
+  check_int "empty key groups all" 3
+    (List.length (Index.lookup all (Tuple.of_array [||])))
 
 let test_statistics () =
   let r =

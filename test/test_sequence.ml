@@ -12,7 +12,7 @@ let catalog_of_baskets baskets =
   let rel = R.create (Qf_relational.Schema.of_list [ "BID"; "Item" ]) in
   List.iteri
     (fun bid items ->
-      List.iter (fun i -> R.add rel [| V.Int (bid + 1); V.Int i |]) items)
+      List.iter (fun i -> R.add rel (Qf_relational.Tuple.of_array [| V.Int (bid + 1); V.Int i |])) items)
     baskets;
   Catalog.add cat "baskets" rel;
   cat
@@ -36,7 +36,7 @@ let test_levels () =
   (* L2: all pairs of {1,2,3} (3), {4,5} (1) = 4. *)
   check_int "L2" 4 (R.cardinal (by_k 2));
   check_int "L3" 1 (R.cardinal (by_k 3));
-  check_bool "triple present" true (R.mem (by_k 3) [| V.Int 1; V.Int 2; V.Int 3 |])
+  check_bool "triple present" true (R.mem (by_k 3) (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 2; V.Int 3 |]))
 
 let test_maximal () =
   let levels = Sequence.frequent_levels (cat ()) ~pred:"baskets" ~support:2 in
@@ -44,10 +44,10 @@ let test_maximal () =
   (* Maximal: {1,2,3}, {4,5}, {6}. *)
   check_int "three maximal sets" 3 (List.length maximal);
   let mem k tup = List.exists (fun (k', t) -> k = k' && Qf_relational.Tuple.equal t tup) maximal in
-  check_bool "{1,2,3}" true (mem 3 [| V.Int 1; V.Int 2; V.Int 3 |]);
-  check_bool "{4,5}" true (mem 2 [| V.Int 4; V.Int 5 |]);
-  check_bool "{6}" true (mem 1 [| V.Int 6 |]);
-  check_bool "{1,2} not maximal" false (mem 2 [| V.Int 1; V.Int 2 |])
+  check_bool "{1,2,3}" true (mem 3 (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 2; V.Int 3 |]));
+  check_bool "{4,5}" true (mem 2 (Qf_relational.Tuple.of_array [| V.Int 4; V.Int 5 |]));
+  check_bool "{6}" true (mem 1 (Qf_relational.Tuple.of_array [| V.Int 6 |]));
+  check_bool "{1,2} not maximal" false (mem 2 (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 2 |]))
 
 let test_empty_when_support_too_high () =
   check_int "no levels" 0
@@ -82,7 +82,7 @@ let test_levels_match_classic () =
       List.iter
         (fun (f : Qf_apriori.Apriori.frequent) ->
           let tup =
-            Array.of_list
+            Qf_relational.Tuple.of_list
               (List.map (fun x -> V.Int x) (Qf_apriori.Itemset.to_list f.itemset))
           in
           check_bool "itemset present" true (R.mem level.itemsets tup))
@@ -107,7 +107,9 @@ let test_maximal_brute_force () =
       levels
   in
   let tuple_subset a b =
-    Array.for_all (fun v -> Array.exists (V.equal v) b) a
+    Seq.for_all
+      (fun v -> Seq.exists (V.equal v) (Qf_relational.Tuple.to_seq b))
+      (Qf_relational.Tuple.to_seq a)
   in
   List.iter
     (fun (k, tup) ->

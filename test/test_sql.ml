@@ -121,7 +121,7 @@ let test_compile_constant_selection () =
   (* Items co-occurring with beer in >= 2 baskets: diapers (1,2,4) and
      beer itself (all four baskets). *)
   check_int "beer co-occurrence" 2 (R.cardinal result);
-  check_bool "diapers" true (R.mem result [| V.Str "diapers" |])
+  check_bool "diapers" true (R.mem result (Qf_relational.Tuple.of_array [| V.Str "diapers" |]))
 
 let test_compile_sum_having () =
   let cat = basket_catalog () in

@@ -37,7 +37,7 @@ let test_codec_roundtrip () =
     values
 
 let test_codec_tuple_roundtrip () =
-  let tup = [| V.Int 3; V.Str "hello"; V.Real 1.5 |] in
+  let tup = (Qf_relational.Tuple.of_array [| V.Int 3; V.Str "hello"; V.Real 1.5 |]) in
   check_bool "tuple roundtrip" true
     (Tuple.equal tup (Codec.tuple_of_string (Codec.tuple_to_string tup)));
   let schema = Schema.of_list [ "A"; "Long_Column_Name"; "c3" ] in
@@ -95,14 +95,14 @@ let test_heap_file_roundtrip () =
   let file = Heap_file.create path schema in
   let n = 5000 in
   for i = 1 to n do
-    Heap_file.append file [| V.Int i; V.Str (Printf.sprintf "row-%d" i) |]
+    Heap_file.append file (Qf_relational.Tuple.of_array [| V.Int i; V.Str (Printf.sprintf "row-%d" i) |])
   done;
   Heap_file.close file;
   let reopened = Heap_file.open_existing path in
   check_bool "schema preserved" true (Schema.equal schema (Heap_file.schema reopened));
   let rel = Heap_file.to_relation reopened in
   check_int "all rows back" n (R.cardinal rel);
-  check_bool "spot check" true (R.mem rel [| V.Int 777; V.Str "row-777" |]);
+  check_bool "spot check" true (R.mem rel (Qf_relational.Tuple.of_array [| V.Int 777; V.Str "row-777" |]));
   Heap_file.close reopened;
   Sys.remove path
 
@@ -112,7 +112,7 @@ let test_heap_file_small_cache () =
   let file = Heap_file.create ~capacity:2 path (Schema.of_list [ "X" ]) in
   let n = 3000 in
   for i = 1 to n do
-    Heap_file.append file [| V.Int i |]
+    Heap_file.append file (Qf_relational.Tuple.of_array [| V.Int i |])
   done;
   let _, _, evictions = Heap_file.cache_stats file in
   check_bool "evictions happened" true (evictions > 0);
@@ -125,7 +125,7 @@ let test_heap_file_arity_check () =
   let path = Filename.temp_file "qfheap" ".qfh" in
   let file = Heap_file.create path (Schema.of_list [ "X" ]) in
   Alcotest.check_raises "arity" (Invalid_argument "Heap_file.append: arity mismatch")
-    (fun () -> Heap_file.append file [| V.Int 1; V.Int 2 |]);
+    (fun () -> Heap_file.append file (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 2 |]));
   Heap_file.close file;
   Sys.remove path
 
@@ -212,7 +212,7 @@ let test_file_mining_dedups () =
   let file = Heap_file.create path (Qf_relational.Schema.of_list [ "BID"; "Item" ]) in
   (* Duplicate rows must not inflate supports. *)
   List.iter
-    (fun (b, i) -> Heap_file.append file [| V.Int b; V.Int i |])
+    (fun (b, i) -> Heap_file.append file (Qf_relational.Tuple.of_array [| V.Int b; V.Int i |]))
     [ 1, 10; 1, 10; 1, 20; 2, 10; 2, 20; 2, 20 ];
   let pairs = File_mining.frequent_pairs file ~support:2 in
   check_int "one pair" 1 (List.length pairs);
@@ -225,7 +225,7 @@ let test_file_mining_counts () =
   let path = Filename.temp_file "qfmine" ".qfh" in
   let file = Heap_file.create path (Qf_relational.Schema.of_list [ "BID"; "Item" ]) in
   List.iter
-    (fun (b, i) -> Heap_file.append file [| V.Int b; V.Int i |])
+    (fun (b, i) -> Heap_file.append file (Qf_relational.Tuple.of_array [| V.Int b; V.Int i |]))
     [ 1, 1; 1, 2; 1, 3; 2, 1; 2, 2; 3, 1; 3, 2; 4, 3 ];
   let pairs = File_mining.frequent_pairs file ~support:2 in
   (* {1,2}: baskets 1,2,3 -> 3.  {1,3} and {2,3}: only basket 1. *)

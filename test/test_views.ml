@@ -27,7 +27,7 @@ let test_materialize_simple () =
   | Ok cat' ->
     let two_hop = Catalog.find cat' "two_hop" in
     check_int "three 2-hops on the 3-cycle" 3 (R.cardinal two_hop);
-    check_bool "1->3" true (R.mem two_hop [| V.Int 1; V.Int 3 |]);
+    check_bool "1->3" true (R.mem two_hop (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 3 |]));
     check_bool "input catalog untouched" false (Catalog.mem cat "two_hop")
 
 let test_view_union_rules () =
@@ -54,7 +54,7 @@ let test_view_uses_earlier_view () =
   | Error e -> Alcotest.failf "materialize: %s" e
   | Ok cat' ->
     check_bool "3-hop returns home on the cycle" true
-      (R.mem (Catalog.find cat' "three_hop") [| V.Int 1; V.Int 1 |])
+      (R.mem (Catalog.find cat' "three_hop") (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 1 |]))
 
 let test_view_rejections () =
   let cat = base_catalog () in
@@ -84,7 +84,7 @@ let test_recursive_view () =
   | Ok cat' ->
     let reach = Catalog.find cat' "reach" in
     check_int "full closure of the 3-cycle" 9 (R.cardinal reach);
-    check_bool "1 reaches itself" true (R.mem reach [| V.Int 1; V.Int 1 |])
+    check_bool "1 reaches itself" true (R.mem reach (Qf_relational.Tuple.of_array [| V.Int 1; V.Int 1 |]))
 
 let test_mutually_recursive_views () =
   (* Even/odd path length from node 1 on the 3-cycle: mutually recursive
@@ -125,8 +125,8 @@ let test_stratified_negation_view () =
     let unreached = Catalog.find cat' "unreached" in
     (* 1 reaches 2 and 1; nodes 3 and 4 are unreached. *)
     check_int "two unreached" 2 (R.cardinal unreached);
-    check_bool "3 unreached" true (R.mem unreached [| V.Int 3 |]);
-    check_bool "4 unreached" true (R.mem unreached [| V.Int 4 |])
+    check_bool "3 unreached" true (R.mem unreached (Qf_relational.Tuple.of_array [| V.Int 3 |]));
+    check_bool "4 unreached" true (R.mem unreached (Qf_relational.Tuple.of_array [| V.Int 4 |]))
 
 (* A recursive view feeding a flock: nodes with at least k descendants. *)
 let test_recursive_view_feeds_flock () =

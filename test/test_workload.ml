@@ -85,7 +85,7 @@ let test_market_planted_patterns_recovered () =
                 check_bool
                   (Printf.sprintf "planted pair (%d,%d) found" a b)
                   true
-                  (R.mem pairs [| V.Int a; V.Int b |]))
+                  (R.mem pairs (Qf_relational.Tuple.of_array [| V.Int a; V.Int b |])))
             pattern)
         pattern)
     patterns;
@@ -99,7 +99,9 @@ let test_market_planted_patterns_recovered () =
   | Some l ->
     List.iter
       (fun pattern ->
-        let tup = Array.of_list (List.map (fun i -> V.Int i) pattern) in
+        let tup =
+          Qf_relational.Tuple.of_list (List.map (fun i -> V.Int i) pattern)
+        in
         check_bool "planted triple found" true (R.mem l.itemsets tup))
       patterns
 
@@ -134,7 +136,7 @@ COUNT(answer.P) >= 20|}
       check_bool
         (Printf.sprintf "planted (m=%d, s=%d) discovered" m s)
         true
-        (R.mem result [| V.Int m; V.Int s |]))
+        (R.mem result (Qf_relational.Tuple.of_array [| V.Int m; V.Int s |])))
     planted
 
 let test_medical_one_disease_per_patient () =
@@ -166,7 +168,7 @@ let test_graph_nodes_in_range () =
   let arc = Catalog.find cat "arc" in
   R.iter
     (fun tup ->
-      match tup.(0), tup.(1) with
+      match Qf_relational.Tuple.get tup 0, Qf_relational.Tuple.get tup 1 with
       | V.Int x, V.Int y ->
         check_bool "in range" true (x >= 1 && x <= 60 && y >= 1 && y <= 60)
       | _ -> Alcotest.fail "non-integer node")
