@@ -682,6 +682,135 @@ let e12 () =
   Pool.set_default_size (Pool.default_size ());
   if !json then e12_write_json !e12_entries
 
+(* {1 E13 — estimator accuracy: System-R estimates vs observed counts} *)
+
+type e13_entry = {
+  e13_workload : string;
+  e13_step : string;
+  e13_est_groups : float;
+  e13_obs_groups : int;
+  e13_est_rows : float;
+  e13_obs_rows : int;
+  e13_q_groups : float;
+  e13_q_rows : float;
+}
+
+let e13_entries : e13_entry list ref = ref []
+
+let e13_json_file = "BENCH_estimator.json"
+
+(* Multiplicative estimation error, floored at 1 on both sides so empty
+   steps do not divide by zero: q = max(est/act, act/est) >= 1, with 1
+   meaning a perfect estimate. *)
+let q_error est act =
+  let e = Float.max 1. est and a = Float.max 1. (float_of_int act) in
+  Float.max (e /. a) (a /. e)
+
+let e13_write_json entries =
+  let oc = open_out e13_json_file in
+  let field (e : e13_entry) =
+    Printf.sprintf
+      {|    { "workload": %S, "step": %S, "est_groups": %.3f, "groups": %d, "est_rows": %.3f, "rows_out": %d, "q_groups": %.3f, "q_rows": %.3f }|}
+      e.e13_workload e.e13_step e.e13_est_groups e.e13_obs_groups
+      e.e13_est_rows e.e13_obs_rows e.e13_q_groups e.e13_q_rows
+  in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E13\",\n  \"quick\": %b,\n  \"metric\": \
+     \"q_error\",\n  \"entries\": [\n%s\n  ]\n}\n"
+    !quick
+    (String.concat ",\n" (List.map field (List.rev entries)));
+  close_out oc;
+  row "wrote %s (%d entries)@." e13_json_file (List.length entries)
+
+let e13 () =
+  header "E13"
+    "estimator accuracy — per-step estimated vs observed cardinalities \
+     (q-error, 1.0 = perfect)";
+  let examine name catalog plan =
+    let estimates = Cost.plan_step_estimates (Cost.of_catalog catalog) plan in
+    let report = Plan_exec.run_with_report catalog plan in
+    row "@.%-26s %-14s %11s %8s %10s %9s %7s %7s@." name "step" "est_grps"
+      "groups" "est_rows" "rows_out" "q(grp)" "q(rows)";
+    let worst = ref 1. in
+    List.iter2
+      (fun (est : Cost.step_estimate) (r : Plan_exec.step_report) ->
+        (* A step aliased by symmetry never tabulates, so its reported
+           group count is just the reused output size; the group estimate
+           only applies to computed steps. *)
+        let reused = r.Plan_exec.reused_from <> None in
+        let qg =
+          if reused then 1. else q_error est.Cost.est_groups r.Plan_exec.groups
+        in
+        let qr = q_error est.Cost.est_rows r.Plan_exec.survivors in
+        worst := Float.max !worst (Float.max qg qr);
+        e13_entries :=
+          {
+            e13_workload = name;
+            e13_step = est.Cost.step;
+            e13_est_groups = est.Cost.est_groups;
+            e13_obs_groups = r.Plan_exec.groups;
+            e13_est_rows = est.Cost.est_rows;
+            e13_obs_rows = r.Plan_exec.survivors;
+            e13_q_groups = qg;
+            e13_q_rows = qr;
+          }
+          :: !e13_entries;
+        row "%-26s %-14s %11.1f %8d %10.1f %9d %7s %6.2fx@." "" est.Cost.step
+          est.Cost.est_groups r.Plan_exec.groups est.Cost.est_rows
+          r.Plan_exec.survivors
+          (if reused then "reused" else Printf.sprintf "%.2fx" qg)
+          qr)
+      estimates report.Plan_exec.steps;
+    row "%-26s worst q-error %.2fx@." "" !worst
+  in
+  (* Same workloads and plans as E12's scaling sweep (E1 market under its
+     a-priori plan, E3 medical under the Fig. 5 two-filter plan), so the
+     estimator is judged exactly where the end-to-end claims are made. *)
+  let docs = if !quick then 600 else 2500 in
+  let market =
+    Qf_workload.Market.catalog
+      {
+        Qf_workload.Market.n_baskets = docs;
+        n_items = docs * 10;
+        avg_basket_size = 24;
+        zipf_exponent = 0.85;
+        seed = 101;
+      }
+  in
+  let pair_flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:20 in
+  let pair_plan =
+    match Apriori_gen.singleton_plan pair_flock with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  examine "E1 market / a-priori plan" market pair_plan;
+  let mconfig =
+    {
+      Qf_workload.Medical.default with
+      n_patients = (if !quick then 2500 else 8000);
+      n_symptoms = 12000;
+      n_medicines = 2000;
+      background_symptoms = 10;
+      background_medicines = 3;
+      symptom_zipf = 0.5;
+      medicine_zipf = 0.5;
+      seed = 31;
+    }
+  in
+  let { Qf_workload.Medical.catalog = medical; _ } =
+    Qf_workload.Medical.generate mconfig
+  in
+  let med_flock = medical_flock 20 in
+  let med_plan =
+    match
+      Apriori_gen.param_set_plan med_flock ~param_sets:[ [ "s" ]; [ "m" ] ]
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  examine "E3 medical / Fig. 5 plan" medical med_plan;
+  if !json then e13_write_json !e13_entries
+
 (* {1 Bechamel micro-benchmarks: one Test per experiment's core contrast} *)
 
 let bechamel_suite () =
@@ -809,6 +938,7 @@ let all_experiments =
     "E10", e10;
     "E11", e11;
     "E12", e12;
+    "E13", e13;
     "BECHAMEL", bechamel_suite;
   ]
 

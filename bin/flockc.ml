@@ -213,27 +213,73 @@ let candidates_cmd =
 
 (* {1 explain} *)
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Run the chosen plan with observability enabled and print each \
+           step's observed cardinalities and wall-clock time next to the \
+           optimizer's estimates, plus mining counters (a-priori candidate \
+           funnel, index-cache hits).")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit the profile as a single JSON object (implies --profile).")
+
+let redact_timings_arg =
+  Arg.(
+    value & flag
+    & info [ "redact-timings" ]
+        ~doc:
+          "Print every duration as $(b,-) (text) or $(b,null) (JSON) so the \
+           output is byte-stable across runs (for golden tests).")
+
 let explain_cmd =
-  let run path data db =
+  let run path data db profile json redact =
     let program = or_die (load_program path) in
     let flock = program.Parse.flock in
     let catalog = or_die (prepare (or_die (load_catalog ?db data)) program) in
     let choices = Optimizer.enumerate catalog flock in
-    Format.printf "%d costed plans (cheapest first):@.@." (List.length choices);
-    List.iteri
-      (fun i (c : Optimizer.choice) ->
-        Format.printf "#%d  estimated work %.0f  steps: %s@." i c.cost
-          (Explain.plan_summary c.plan))
-      choices;
-    match choices with
-    | best :: _ ->
-      Format.printf "@.chosen plan:@.@.%s@." (Explain.plan_to_string best.plan)
-    | [] -> ()
+    let profile = profile || json in
+    if not json then begin
+      Format.printf "%d costed plans (cheapest first):@.@."
+        (List.length choices);
+      List.iteri
+        (fun i (c : Optimizer.choice) ->
+          Format.printf "#%d  estimated work %.0f  steps: %s@." i c.cost
+            (Explain.plan_summary c.plan))
+        choices;
+      match choices with
+      | best :: _ ->
+        Format.printf "@.chosen plan:@.@.%s@."
+          (Explain.plan_to_string best.plan)
+      | [] -> ()
+    end;
+    if profile then
+      match choices with
+      | [] ->
+        prerr_endline "flockc: explain --profile: no plan to profile";
+        exit 1
+      | best :: _ ->
+        let p = Explain.profile catalog best.Optimizer.plan in
+        if json then print_string (Explain.profile_json ~redact_timings:redact p)
+        else begin
+          Format.printf "@.";
+          print_string (Explain.profile_text ~redact_timings:redact p)
+        end
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Enumerate and cost candidate plans against the data (Sec. 4.3)")
-    Term.(const run $ flock_file $ data_arg $ db_arg)
+       ~doc:
+         "Enumerate and cost candidate plans against the data (Sec. 4.3); \
+          with $(b,--profile), run the chosen plan and report observed \
+          per-step cardinalities and timings next to the estimates")
+    Term.(
+      const run $ flock_file $ data_arg $ db_arg $ profile_arg $ json_arg
+      $ redact_timings_arg)
 
 (* {1 run} *)
 

@@ -11,23 +11,35 @@ let step_name params = "ok_" ^ String.concat "_" params
 let ok_atom name params =
   Ast.Pos { Ast.pred = name; args = List.map (fun p -> Ast.Param p) params }
 
-(* Choose one safe subquery of [rule] with exactly [params]. *)
+(* Choose one safe subquery of [rule] with exactly [params].  When
+   profiling, the candidate-generation funnel is metered: how many safe
+   subqueries the a-priori generator enumerated versus how many survived
+   selection (one per (rule, parameter-set) on success). *)
 let choose_candidate selection (rule : Ast.rule) params =
   let candidates = Subquery.for_params rule params in
-  match candidates with
-  | [] -> None
-  | _ -> (
-    match selection with
-    | `Fewest_subgoals -> Subquery.minimal_for_params rule params
-    | `Cheapest env ->
-      List.fold_left
-        (fun best (c : Subquery.candidate) ->
-          let cost = (Cost.estimate_rule env c.rule).Cost.work in
-          match best with
-          | None -> Some (c, cost)
-          | Some (_, bc) -> if cost < bc then Some (c, cost) else best)
-        None candidates
-      |> Option.map fst)
+  if Qf_obs.Obs.enabled () then
+    Qf_obs.Obs.count "apriori.candidate_subqueries" (List.length candidates);
+  let chosen =
+    match candidates with
+    | [] -> None
+    | _ -> (
+      match selection with
+      | `Fewest_subgoals -> Subquery.minimal_for_params rule params
+      | `Cheapest env ->
+        List.fold_left
+          (fun best (c : Subquery.candidate) ->
+            let cost = (Cost.estimate_rule env c.rule).Cost.work in
+            match best with
+            | None -> Some (c, cost)
+            | Some (_, bc) -> if cost < bc then Some (c, cost) else best)
+          None candidates
+        |> Option.map fst)
+  in
+  (if Qf_obs.Obs.enabled () then
+     match chosen with
+     | Some _ -> Qf_obs.Obs.count "apriori.chosen_subqueries" 1
+     | None -> ());
+  chosen
 
 let param_set_plan ?(selection = `Fewest_subgoals) (flock : Flock.t)
     ~param_sets =

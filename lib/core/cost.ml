@@ -301,3 +301,38 @@ let estimate_plan env (plan : Plan.t) =
   let final_env = reduce_env_for_final env ~threshold plan in
   let w, _ = estimate_step final_env ~threshold plan.final in
   work +. w
+
+(* Per-step estimates, exposed so the profiler can print estimated next to
+   observed cardinalities.  Mirrors [estimate_plan]'s environment
+   threading: each auxiliary step's estimated output statistics feed the
+   later steps, and the final step sees the semijoin-reduced env. *)
+
+type step_estimate = {
+  step : string;
+  est_work : float;
+  est_groups : float;
+  est_rows : float;
+}
+
+let plan_step_estimates env (plan : Plan.t) =
+  let threshold = plan.flock.filter.threshold in
+  let one env (s : Plan.step) =
+    let w, out = estimate_step env ~threshold s in
+    ( out,
+      {
+        step = s.name;
+        est_work = w;
+        est_groups = estimate_groups env s.query s.params;
+        est_rows = out.rows;
+      } )
+  in
+  let env, acc =
+    List.fold_left
+      (fun (env, acc) (s : Plan.step) ->
+        let out, e = one env s in
+        extend env s.Plan.name out, e :: acc)
+      (env, []) plan.steps
+  in
+  let final_env = reduce_env_for_final env ~threshold plan in
+  let _, e = one final_env plan.final in
+  List.rev (e :: acc)

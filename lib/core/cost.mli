@@ -61,3 +61,19 @@ val estimate_step : env -> threshold:float -> Plan.step -> float * vstats
 (** Total estimated work of a plan (auxiliary steps plus final step, with
     each step's output statistics fed into later estimates). *)
 val estimate_plan : env -> Plan.t -> float
+
+(** {1 Per-step estimates for the profiler} *)
+
+type step_estimate = {
+  step : string;  (** step name, matching {!Plan.step.name} *)
+  est_work : float;  (** estimated intermediate tuples touched *)
+  est_groups : float;  (** estimated candidate parameter assignments *)
+  est_rows : float;  (** estimated surviving assignments (output rows) *)
+}
+
+(** One estimate per step, auxiliary steps first and the final step last,
+    with each step's estimated output statistics feeding later steps —
+    the estimated half of [flockc explain --profile]'s
+    estimated-vs-observed report.  Raises [Failure] when [env] lacks a
+    referenced predicate. *)
+val plan_step_estimates : env -> Plan.t -> step_estimate list

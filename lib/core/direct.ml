@@ -1,13 +1,25 @@
 module Eval = Qf_datalog.Eval
 module Aggregate = Qf_relational.Aggregate
+module Relation = Qf_relational.Relation
+module Obs = Qf_obs.Obs
 
 let tabulate catalog (flock : Flock.t) = Eval.tabulate_query catalog flock.query
 
 let run catalog (flock : Flock.t) =
-  let tab = tabulate catalog flock in
-  let func =
-    Filter.to_aggregate flock.filter ~head_columns:(Flock.head_columns flock)
+  let compute () =
+    let tab = tabulate catalog flock in
+    let func =
+      Filter.to_aggregate flock.filter ~head_columns:(Flock.head_columns flock)
+    in
+    ( tab,
+      Aggregate.group_filter tab
+        ~keys:(Flock.result_columns flock)
+        ~func ~threshold:flock.filter.threshold )
   in
-  Aggregate.group_filter tab
-    ~keys:(Flock.result_columns flock)
-    ~func ~threshold:flock.filter.threshold
+  if not (Obs.enabled ()) then snd (compute ())
+  else
+    Obs.with_span "direct.run" (fun () ->
+        let tab, result = compute () in
+        Obs.set_attr "rows_in" (Obs.Int (Relation.cardinal tab));
+        Obs.set_attr "rows_out" (Obs.Int (Relation.cardinal result));
+        result)

@@ -7,6 +7,8 @@ module Value = Qf_relational.Value
 module Tuple = Qf_relational.Tuple
 module Aggregate = Qf_relational.Aggregate
 
+module Obs = Qf_obs.Obs
+
 let log_src = Logs.Src.create "qf.dynamic" ~doc:"Dynamic filter selection"
 
 module Log = (val Logs.src_log log_src)
@@ -141,6 +143,25 @@ let walk_rule config catalog rule ~head_keys ~head_columns ~func ~keep =
           :: trace )
       end
     end
+  in
+  let step acc lit =
+    (* One span per run-time decision point: the sizes the Ex. 4.4
+       heuristic saw and whether it interposed a filter. *)
+    if not (Obs.enabled ()) then step acc lit
+    else
+      Obs.with_span "dynamic.decision" (fun () ->
+          let (envs, trace) = step acc lit in
+          (match trace with
+          | (d : decision) :: _ ->
+            Obs.set_attr "after" (Obs.Str d.after);
+            Obs.set_attr "rows" (Obs.Int d.rows);
+            Obs.set_attr "assignments" (Obs.Int d.assignments);
+            Obs.set_attr "filtered" (Obs.Bool d.filtered);
+            (match d.survivors with
+            | Some s -> Obs.set_attr "survivors" (Obs.Int s)
+            | None -> ())
+          | [] -> ());
+          (envs, trace))
   in
   fun ~threshold ->
     threshold_hint := threshold;
@@ -295,14 +316,22 @@ let run_union config catalog (flock : Flock.t) rules =
   Ok { answers; trace = List.concat traces }
 
 let run ?(config = default_config) catalog (flock : Flock.t) =
+  Obs.with_span "dynamic.run" @@ fun () ->
   if not (Filter.is_monotone flock.filter) then
     Error "Dynamic.run: the filter is not monotone"
   else
     try
-      match flock.query with
-      | [] -> Error "Dynamic.run: empty query"
-      | [ rule ] -> run_single config catalog flock rule
-      | rules -> run_union config catalog flock rules
+      let result =
+        match flock.query with
+        | [] -> Error "Dynamic.run: empty query"
+        | [ rule ] -> run_single config catalog flock rule
+        | rules -> run_union config catalog flock rules
+      in
+      (match result with
+      | Ok r ->
+        Obs.set_attr "rows_out" (Obs.Int (Relation.cardinal r.answers))
+      | Error _ -> ());
+      result
     with
     | Eval.Error msg -> Error msg
     | Failure msg -> Error msg

@@ -28,3 +28,186 @@ let plan_summary (plan : Plan.t) =
          Printf.sprintf "%s(%s)" s.name
            (String.concat "," (List.map (fun p -> "$" ^ p) s.params)))
   |> String.concat " -> "
+
+(* {1 Profiled execution (flockc explain --profile)} *)
+
+module Obs = Qf_obs.Obs
+
+type step_profile = {
+  name : string;
+  params : string list;
+  rows_in : int;
+  groups : int;
+  rows_out : int;
+  seconds : float;
+  est_rows : float option;
+  est_groups : float option;
+  reused_from : string option;
+}
+
+type profile = {
+  summary : string;
+  steps : step_profile list;
+  result_rows : int;
+  total_seconds : float;
+  counters : (string * int) list;
+}
+
+let profile ?options catalog (plan : Plan.t) =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let t0 = Obs.now () in
+      let report = Plan_exec.run_with_report ?options catalog plan in
+      let total_seconds = Obs.now () -. t0 in
+      let obs = Obs.report () in
+      let estimates =
+        match Cost.plan_step_estimates (Cost.of_catalog catalog) plan with
+        | ests -> ests
+        | exception Failure _ -> []
+      in
+      let est_for name =
+        List.find_opt
+          (fun (e : Cost.step_estimate) -> String.equal e.Cost.step name)
+          estimates
+      in
+      let steps =
+        List.map2
+          (fun (s : Plan.step) (r : Plan_exec.step_report) ->
+            let est = est_for s.name in
+            {
+              name = s.name;
+              params = s.params;
+              rows_in = r.Plan_exec.tabulated_rows;
+              groups = r.Plan_exec.groups;
+              rows_out = r.Plan_exec.survivors;
+              seconds = r.Plan_exec.seconds;
+              est_rows = Option.map (fun (e : Cost.step_estimate) -> e.Cost.est_rows) est;
+              est_groups =
+                Option.map (fun (e : Cost.step_estimate) -> e.Cost.est_groups) est;
+              reused_from = r.Plan_exec.reused_from;
+            })
+          (Plan.all_steps plan) report.Plan_exec.steps
+      in
+      (* The pool's per-chunk metrics are the only ones that legitimately
+         vary with the machine (domain count, chunking); keep the profile
+         deterministic by reporting everything else. *)
+      let counters =
+        List.filter
+          (fun (k, _) -> not (String.starts_with ~prefix:"pool." k))
+          obs.Obs.counters
+      in
+      {
+        summary = plan_summary plan;
+        steps;
+        result_rows =
+          Qf_relational.Relation.cardinal report.Plan_exec.result;
+        total_seconds;
+        counters;
+      })
+
+let profile_text ?(redact_timings = false) (p : profile) =
+  let buf = Buffer.create 1024 in
+  let time s = if redact_timings then "-" else Printf.sprintf "%.6f" s in
+  let est = function None -> "-" | Some f -> Printf.sprintf "%.1f" f in
+  Buffer.add_string buf (Printf.sprintf "plan: %s\n\n" p.summary);
+  let name_width =
+    List.fold_left
+      (fun acc (s : step_profile) ->
+        let n =
+          match s.reused_from with
+          | Some t -> String.length s.name + String.length t + 3
+          | None -> String.length s.name
+        in
+        max acc n)
+      (String.length "step") p.steps
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%-*s %10s %10s %10s %10s %10s %12s\n" name_width "step"
+       "est_grps" "est_rows" "rows_in" "groups" "rows_out" "time_s");
+  List.iter
+    (fun (s : step_profile) ->
+      let shown =
+        match s.reused_from with
+        | Some t -> s.name ^ " = " ^ t
+        | None -> s.name
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s %10s %10s %10d %10d %10d %12s\n" name_width
+           shown (est s.est_groups) (est s.est_rows) s.rows_in s.groups
+           s.rows_out (time s.seconds)))
+    p.steps;
+  Buffer.add_string buf
+    (Printf.sprintf "\nresult rows: %d\ntotal time_s: %s\n" p.result_rows
+       (time p.total_seconds));
+  if p.counters <> [] then begin
+    Buffer.add_string buf "\ncounters:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s = %d\n" k v))
+      p.counters
+  end;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let profile_json ?(redact_timings = false) (p : profile) =
+  let buf = Buffer.create 1024 in
+  let time s =
+    if redact_timings then "null" else json_float s
+  in
+  let opt_float = function None -> "null" | Some f -> json_float f in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"plan\": \"%s\",\n" (json_escape p.summary));
+  Buffer.add_string buf "  \"steps\": [\n";
+  List.iteri
+    (fun i (s : step_profile) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"params\": [%s], \"est_groups\": %s, \
+            \"est_rows\": %s, \"rows_in\": %d, \"groups\": %d, \"rows_out\": \
+            %d, \"reused_from\": %s, \"seconds\": %s}%s\n"
+           (json_escape s.name)
+           (String.concat ", "
+              (List.map (fun q -> "\"" ^ json_escape q ^ "\"") s.params))
+           (opt_float s.est_groups) (opt_float s.est_rows) s.rows_in s.groups
+           s.rows_out
+           (match s.reused_from with
+           | None -> "null"
+           | Some t -> "\"" ^ json_escape t ^ "\"")
+           (time s.seconds)
+           (if i = List.length p.steps - 1 then "" else ",")))
+    p.steps;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"result_rows\": %d,\n" p.result_rows);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"total_seconds\": %s,\n" (time p.total_seconds));
+  Buffer.add_string buf "  \"counters\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+          p.counters));
+  Buffer.add_string buf "}\n}\n";
+  Buffer.contents buf

@@ -16,3 +16,44 @@ val plan_to_string : Plan.t -> string
 
 (** One-line summary: step names with their parameter sets. *)
 val plan_summary : Plan.t -> string
+
+(** {1 Profiled execution}
+
+    [flockc explain --profile]'s backend: run the plan with observability
+    enabled and pair each step's observed cardinalities and wall-clock time
+    with the cost model's estimates. *)
+
+type step_profile = {
+  name : string;
+  params : string list;
+  rows_in : int;  (** tuples tabulated before grouping *)
+  groups : int;  (** candidate parameter assignments *)
+  rows_out : int;  (** assignments surviving the filter *)
+  seconds : float;
+  est_rows : float option;  (** cost model's predicted [rows_out] *)
+  est_groups : float option;  (** cost model's predicted [groups] *)
+  reused_from : string option;  (** symmetric-step alias, not recomputed *)
+}
+
+type profile = {
+  summary : string;  (** {!plan_summary} of the profiled plan *)
+  steps : step_profile list;  (** execution order, final step last *)
+  result_rows : int;
+  total_seconds : float;
+  counters : (string * int) list;
+      (** sorted by name; machine-dependent ["pool."] metrics excluded *)
+}
+
+(** Run [plan] with {!Qf_obs.Obs} enabled (restoring the previous enabled
+    state afterwards) and collect per-step observed-vs-estimated numbers.
+    Estimates are omitted when the cost model lacks statistics for a
+    referenced predicate. *)
+val profile :
+  ?options:Plan_exec.options -> Qf_relational.Catalog.t -> Plan.t -> profile
+
+(** Deterministic renderers.  With [redact_timings] every duration prints
+    as ["-"] (text) or [null] (JSON), making the output byte-stable for
+    golden tests. *)
+
+val profile_text : ?redact_timings:bool -> profile -> string
+val profile_json : ?redact_timings:bool -> profile -> string

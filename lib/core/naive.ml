@@ -48,10 +48,12 @@ let domains catalog (flock : Flock.t) =
     (Flock.params flock)
 
 let run ?(max_assignments = 2_000_000) catalog (flock : Flock.t) =
+  Qf_obs.Obs.with_span "naive.run" @@ fun () ->
   let doms = domains catalog flock in
   let space =
     List.fold_left (fun acc (_, d) -> acc * max 1 (List.length d)) 1 doms
   in
+  Qf_obs.Obs.set_attr "assignments" (Qf_obs.Obs.Int space);
   if space > max_assignments then
     invalid_arg
       (Printf.sprintf "Naive.run: %d assignments exceed the limit of %d" space
@@ -86,4 +88,5 @@ let run ?(max_assignments = 2_000_000) catalog (flock : Flock.t) =
       List.iter (fun v -> assign (("$" ^ param, v) :: acc) rest) dom
   in
   assign [] doms;
+  Qf_obs.Obs.set_attr "rows_out" (Qf_obs.Obs.Int (Relation.cardinal result));
   result

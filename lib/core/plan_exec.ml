@@ -6,6 +6,8 @@ module Schema = Qf_relational.Schema
 module Aggregate = Qf_relational.Aggregate
 module Join = Qf_relational.Join
 
+module Obs = Qf_obs.Obs
+
 let log_src = Logs.Src.create "qf.plan" ~doc:"FILTER-step plan execution"
 
 module Log = (val Logs.src_log log_src)
@@ -15,6 +17,8 @@ type step_report = {
   tabulated_rows : int;
   groups : int;
   survivors : int;
+  seconds : float;
+  reused_from : string option;
 }
 
 type report = {
@@ -100,34 +104,63 @@ let reduce_rule work ~step_names ~canon ~cache (r : Ast.rule) =
     { r with Ast.body }
   end
 
-let run_step work ~options ~step_names ~canon ~cache (flock : Flock.t)
+let run_step work ~options ~step_names ~canon ~cache ~est (flock : Flock.t)
     (s : Plan.step) =
-  let query =
-    if options.semijoin_reduction then
-      List.map (reduce_rule work ~step_names ~canon ~cache) s.query
-    else s.query
+  let t0 = Obs.now () in
+  let compute () =
+    let query =
+      if options.semijoin_reduction then
+        List.map (reduce_rule work ~step_names ~canon ~cache) s.query
+      else s.query
+    in
+    let tab = Eval.tabulate_query work query in
+    let keys = List.map (fun p -> "$" ^ p) s.params in
+    let func =
+      Filter.to_aggregate flock.filter
+        ~head_columns:(Eval.head_columns (List.hd s.query))
+    in
+    let groups = Relation.cardinal (Relation.project tab keys) in
+    let survivors =
+      Aggregate.group_filter tab ~keys ~func
+        ~threshold:flock.filter.threshold
+    in
+    Catalog.add work s.name survivors;
+    survivors, Relation.cardinal tab, groups, Relation.cardinal survivors
   in
-  let tab = Eval.tabulate_query work query in
-  let keys = List.map (fun p -> "$" ^ p) s.params in
-  let func =
-    Filter.to_aggregate flock.filter
-      ~head_columns:(Eval.head_columns (List.hd s.query))
+  let survivors, tab_rows, groups, survived =
+    if not (Obs.enabled ()) then compute ()
+    else
+      (* The FILTER-step span: rows in, candidate groups, surviving rows,
+         the a-priori pruning ratio (surviving fraction), and — when the
+         cost model produced one — the estimated output cardinality next
+         to the observed one. *)
+      Obs.with_span "filter.step" ~attrs:[ "step", Obs.Str s.name ] (fun () ->
+          let (_, tab_rows, groups, survived) as r = compute () in
+          Obs.set_attr "rows_in" (Obs.Int tab_rows);
+          Obs.set_attr "groups" (Obs.Int groups);
+          Obs.set_attr "rows_out" (Obs.Int survived);
+          Obs.set_attr "pruning_ratio"
+            (Obs.Float
+               (if groups = 0 then 1.
+                else float_of_int survived /. float_of_int groups));
+          (match est with
+          | Some (e : Cost.step_estimate) ->
+            Obs.set_attr "est_rows" (Obs.Float e.Cost.est_rows);
+            Obs.set_attr "est_groups" (Obs.Float e.Cost.est_groups)
+          | None -> ());
+          r)
   in
-  let groups = Relation.cardinal (Relation.project tab keys) in
-  let survivors =
-    Aggregate.group_filter tab ~keys ~func
-      ~threshold:flock.filter.threshold
-  in
-  Catalog.add work s.name survivors;
   Log.debug (fun m ->
-      m "step %s: %d rows -> %d groups -> %d survive" s.name
-        (Relation.cardinal tab) groups (Relation.cardinal survivors));
+      m "step %s: %d rows -> %d groups -> %d survive" s.name tab_rows groups
+        survived);
   ( survivors,
     {
       step_name = s.name;
-      tabulated_rows = Relation.cardinal tab;
+      tabulated_rows = tab_rows;
       groups;
-      survivors = Relation.cardinal survivors;
+      survivors = survived;
+      seconds = Obs.now () -. t0;
+      reused_from = None;
     } )
 
 (* Symmetric-step reuse (paper Ex. 3.1: "by symmetry, the set of $1's that
@@ -149,6 +182,26 @@ let find_symmetric_twin earlier (s : Plan.step) =
     earlier
 
 let run_with_report ?(options = default_options) catalog (plan : Plan.t) =
+  Obs.with_span "plan.run"
+    ~attrs:[ "steps", Obs.Int (List.length plan.steps + 1) ]
+  @@ fun () ->
+  (* Confront the System-R estimates with reality: when profiling, cost
+     each step up front so the spans carry estimated next to observed
+     cardinalities.  Derived predicates the model has no statistics for
+     (e.g. view outputs on a bare catalog) disable the estimates, never
+     the run. *)
+  let estimates =
+    if not (Obs.enabled ()) then []
+    else
+      match Cost.plan_step_estimates (Cost.of_catalog catalog) plan with
+      | ests -> ests
+      | exception Failure _ -> []
+  in
+  let est_for (s : Plan.step) =
+    List.find_opt
+      (fun (e : Cost.step_estimate) -> String.equal e.Cost.step s.Plan.name)
+      estimates
+  in
   let work = Catalog.copy catalog in
   let cache = Hashtbl.create 8 in
   let canon : (string, string) Hashtbl.t = Hashtbl.create 8 in
@@ -160,25 +213,37 @@ let run_with_report ?(options = default_options) catalog (plan : Plan.t) =
           else None
         with
         | Some twin ->
+          let t0 = Obs.now () in
           let rel = Catalog.find work twin.Plan.name in
           Catalog.add work s.name rel;
           Hashtbl.replace canon s.name
             (match Hashtbl.find_opt canon twin.Plan.name with
             | Some c -> c
             | None -> twin.Plan.name);
+          if Obs.enabled () then
+            Obs.with_span "filter.step"
+              ~attrs:
+                [
+                  "step", Obs.Str s.name;
+                  "reused_from", Obs.Str twin.Plan.name;
+                  "rows_out", Obs.Int (Relation.cardinal rel);
+                ]
+              (fun () -> ());
           let report =
             {
               step_name = s.name ^ " (= " ^ twin.Plan.name ^ " by symmetry)";
               tabulated_rows = 0;
               groups = Relation.cardinal rel;
               survivors = Relation.cardinal rel;
+              seconds = Obs.now () -. t0;
+              reused_from = Some twin.Plan.name;
             }
           in
           (s :: executed, s.name :: defined), report :: acc
         | None ->
           let _, report =
-            run_step work ~options ~step_names:defined ~canon ~cache plan.flock
-              s
+            run_step work ~options ~step_names:defined ~canon ~cache
+              ~est:(est_for s) plan.flock s
           in
           (s :: executed, s.name :: defined), report :: acc)
       (([], []), [])
@@ -186,8 +251,10 @@ let run_with_report ?(options = default_options) catalog (plan : Plan.t) =
   in
   let step_names = List.map (fun (s : Plan.step) -> s.Plan.name) plan.steps in
   let result, final_report =
-    run_step work ~options ~step_names ~canon ~cache plan.flock plan.final
+    run_step work ~options ~step_names ~canon ~cache ~est:(est_for plan.final)
+      plan.flock plan.final
   in
+  Obs.set_attr "rows_out" (Obs.Int (Relation.cardinal result));
   { result; steps = List.rev reports @ [ final_report ] }
 
 let run ?options catalog plan = (run_with_report ?options catalog plan).result

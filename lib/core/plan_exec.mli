@@ -15,6 +15,10 @@ type step_report = {
   tabulated_rows : int;  (** rows produced before grouping *)
   groups : int;  (** distinct parameter assignments seen *)
   survivors : int;  (** assignments passing the filter *)
+  seconds : float;  (** wall-clock time of the step *)
+  reused_from : string option;
+      (** [Some earlier] when the step was aliased to an earlier step's
+          result by symmetry instead of being computed *)
 }
 
 type report = {

@@ -138,9 +138,19 @@ let chunks_of ~size ~n =
 
 let run_chunks t ~n f =
   if n <= 0 then []
-  else
+  else begin
+    (* Per-chunk task timings (the observability layer's view of the pool):
+       each chunk contributes to the [pool.chunk] task counter and its
+       total/max duration gauges.  Guarded so the disabled path adds no
+       per-chunk work; [Obs.timed] is safe from worker domains. *)
+    let f =
+      if Qf_obs.Obs.enabled () then fun ~lo ~hi ->
+        Qf_obs.Obs.timed "pool.chunk" (fun () -> f ~lo ~hi)
+      else f
+    in
     run_all t
       (List.map (fun (lo, hi) -> fun () -> f ~lo ~hi) (chunks_of ~size:t.size ~n))
+  end
 
 (* {1 The shared default pool} *)
 

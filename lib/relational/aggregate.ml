@@ -1,4 +1,5 @@
 module Pool = Qf_exec_pool.Pool
+module Obs = Qf_obs.Obs
 
 type func =
   | Count
@@ -106,31 +107,61 @@ let group_by_parallel pool rel ~key_positions ~func =
   List.concat per_partition
 
 let group_by ?pool ?par_threshold rel ~keys ~func =
-  let threshold =
-    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
-  in
-  let pool = match pool with Some p -> p | None -> Pool.default () in
-  if Pool.size pool > 1 && Relation.cardinal rel >= threshold then
-    let key_positions =
-      Array.of_list
-        (List.map (Schema.position (Relation.schema rel)) keys)
+  let compute () =
+    let threshold =
+      match par_threshold with Some v -> v | None -> Pool.par_threshold ()
     in
-    group_by_parallel pool rel ~key_positions ~func
-  else begin
-    let schema = Relation.schema rel in
-    let idx = Index.build_on rel keys in
-    let out = ref [] in
-    Index.iter_groups
-      (fun key tuples -> out := (key, eval func schema tuples) :: !out)
-      idx;
-    !out
-  end
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    if Pool.size pool > 1 && Relation.cardinal rel >= threshold then
+      let key_positions =
+        Array.of_list
+          (List.map (Schema.position (Relation.schema rel)) keys)
+      in
+      group_by_parallel pool rel ~key_positions ~func
+    else begin
+      let schema = Relation.schema rel in
+      let idx = Index.build_on rel keys in
+      let out = ref [] in
+      Index.iter_groups
+        (fun key tuples -> out := (key, eval func schema tuples) :: !out)
+        idx;
+      !out
+    end
+  in
+  if not (Obs.enabled ()) then compute ()
+  else
+    Obs.with_span "aggregate.group_by"
+      ~attrs:[ "rows_in", Obs.Int (Relation.cardinal rel) ]
+      (fun () ->
+        let groups = compute () in
+        Obs.set_attr "groups_out" (Obs.Int (List.length groups));
+        groups)
 
 let group_filter ?pool ?par_threshold rel ~keys ~func ~threshold =
-  let out = Relation.create (Schema.restrict (Relation.schema rel) keys) in
-  List.iter
-    (fun (key, v) ->
-      let x = numeric_exn "group_filter" v in
-      if x >= threshold then Relation.add out key)
-    (group_by ?pool ?par_threshold rel ~keys ~func);
-  out
+  let compute () =
+    let groups = group_by ?pool ?par_threshold rel ~keys ~func in
+    let out = Relation.create (Schema.restrict (Relation.schema rel) keys) in
+    List.iter
+      (fun (key, v) ->
+        let x = numeric_exn "group_filter" v in
+        if x >= threshold then Relation.add out key)
+      groups;
+    out, List.length groups
+  in
+  if not (Obs.enabled ()) then fst (compute ())
+  else
+    (* The a-priori view of the FILTER: [candidates] parameter assignments
+       enter, [survivors] pass the threshold; [pruning_ratio] is the
+       surviving fraction, always within [0, 1]. *)
+    Obs.with_span "aggregate.group_filter"
+      ~attrs:[ "rows_in", Obs.Int (Relation.cardinal rel) ]
+      (fun () ->
+        let out, candidates = compute () in
+        let survivors = Relation.cardinal out in
+        Obs.set_attr "candidates" (Obs.Int candidates);
+        Obs.set_attr "survivors" (Obs.Int survivors);
+        Obs.set_attr "pruning_ratio"
+          (Obs.Float
+             (if candidates = 0 then 1.
+              else float_of_int survivors /. float_of_int candidates));
+        out)

@@ -87,6 +87,12 @@ let index t rel positions =
       None
   in
   Mutex.unlock c.cache_mutex;
+  (* Mirror the per-catalog counters into the global metrics so profiled
+     runs report cache effectiveness without threading the catalog out. *)
+  (if Qf_obs.Obs.enabled () then
+     match cached with
+     | Some _ -> Qf_obs.Obs.count "index_cache.hits" 1
+     | None -> Qf_obs.Obs.count "index_cache.misses" 1);
   match cached with
   | Some idx -> idx
   | None ->

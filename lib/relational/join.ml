@@ -1,4 +1,22 @@
 module Pool = Qf_exec_pool.Pool
+module Obs = Qf_obs.Obs
+
+(* Span wrapper shared by the three join kinds: probe/build sizes up
+   front, output size on completion.  The disabled path costs one atomic
+   load. *)
+let observed kind a b compute =
+  if not (Obs.enabled ()) then compute ()
+  else
+    Obs.with_span kind
+      ~attrs:
+        [
+          "probe_rows", Obs.Int (Relation.cardinal a);
+          "build_rows", Obs.Int (Relation.cardinal b);
+        ]
+      (fun () ->
+        let out = compute () in
+        Obs.set_attr "rows_out" (Obs.Int (Relation.cardinal out));
+        out)
 
 (* Join-target positions, hoisted once into [int array]s so the per-tuple
    work is pure array indexing (the old code re-ran the linear
@@ -61,6 +79,7 @@ let threshold_of = function
    concurrent lookups are safe. *)
 
 let equi ?pool ?par_threshold a b pairs =
+  observed "join.equi" a b @@ fun () ->
   let pos_a, pos_b = positions_of_pairs a b pairs in
   let residual = residual_columns a b pairs in
   let sb = Relation.schema b in
@@ -103,7 +122,9 @@ let filter_by_presence ?pool ?par_threshold ~keep_matching a b pairs =
       if keep_matching then found else not found)
 
 let semi ?pool ?par_threshold a b pairs =
+  observed "join.semi" a b @@ fun () ->
   filter_by_presence ?pool ?par_threshold ~keep_matching:true a b pairs
 
 let anti ?pool ?par_threshold a b pairs =
+  observed "join.anti" a b @@ fun () ->
   filter_by_presence ?pool ?par_threshold ~keep_matching:false a b pairs

@@ -1,0 +1,157 @@
+(* Differential harness: on a corpus of seeded random flock instances,
+   every executor must produce exactly the same answer relation as
+   {!Direct.run} — naive generate-and-test, the optimizer's chosen plan,
+   the a-priori singleton plan, the levelwise plan, and dynamic filter
+   selection — and the agreement must be insensitive to the Domain pool's
+   size.
+
+   Unlike the QCheck properties (fresh random instances per run), this
+   suite replays fixed seeds, so a regression reproduces byte-for-byte and
+   the failing seed is named in the assertion message. *)
+
+module R = Qf_relational.Relation
+module Catalog = Qf_relational.Catalog
+module Pool = Qf_exec_pool.Pool
+open Qf_core
+open Qf_testgen.Testgen
+
+let seeds = List.init 100 Fun.id
+
+let instance_of_seed seed = instance ~seed gen_basket_instance
+
+(* All executors on one instance; returns (executor name, result) pairs. *)
+let run_all_executors cat flock =
+  let direct = Direct.run cat flock in
+  let naive = Naive.run cat flock in
+  let optimized = Plan_exec.run cat (Optimizer.optimize cat flock) in
+  let singleton =
+    match Apriori_gen.singleton_plan flock with
+    | Ok p -> Plan_exec.run cat p
+    | Error e -> failwith ("singleton plan: " ^ e)
+  in
+  let dynamic =
+    match Dynamic.run cat flock with
+    | Ok r -> r.Dynamic.answers
+    | Error e -> failwith ("dynamic: " ^ e)
+  in
+  ( direct,
+    [
+      "naive", naive;
+      "optimized plan", optimized;
+      "singleton plan", singleton;
+      "dynamic", dynamic;
+    ] )
+
+let check_seed seed =
+  let rel, threshold = instance_of_seed seed in
+  let cat = catalog_of rel in
+  let flock = pair_flock threshold in
+  let expected, results = run_all_executors cat flock in
+  List.iter
+    (fun (name, got) ->
+      if not (R.equal expected got) then
+        Alcotest.failf "seed %d: %s disagrees with direct (threshold %d)\n%s"
+          seed name threshold (pp_relation rel))
+    results
+
+let test_corpus_agrees () = List.iter check_seed seeds
+
+(* The levelwise market-basket plan (k = 3, with its symmetry reuse and
+   subset pruning) against direct, on a smaller slice of the corpus. *)
+let test_levelwise_agrees () =
+  List.iter
+    (fun seed ->
+      let rel, threshold = instance_of_seed seed in
+      let cat = catalog_of rel in
+      let flock, plan =
+        Apriori_gen.levelwise_basket ~pred:"baskets" ~k:3 ~support:threshold
+      in
+      let expected = Direct.run cat flock in
+      let got = Plan_exec.run cat plan in
+      if not (R.equal expected got) then
+        Alcotest.failf "seed %d: levelwise k=3 disagrees with direct" seed)
+    (List.filteri (fun i _ -> i mod 4 = 0) seeds)
+
+(* Union flocks: two branches over independent random relations, dynamic
+   with aggressive filtering vs direct. *)
+let gen_union_instance =
+  QCheck.Gen.(
+    let* a = gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:4 ~max_rows:15 in
+    let* b = gen_small_relation ~columns:[ "X"; "Y" ] ~max_value:4 ~max_rows:15 in
+    let* t = int_range 1 3 in
+    return (a, b, t))
+
+let test_union_corpus_agrees () =
+  List.iter
+    (fun seed ->
+      let a, b, threshold = instance ~seed gen_union_instance in
+      let cat = Catalog.create () in
+      Catalog.add cat "p" a;
+      Catalog.add cat "q" b;
+      let flock =
+        Parse.flock_exn
+          (Printf.sprintf
+             "QUERY:\n\
+              answer(X) :- p(X,$a)\n\
+              answer(X) :- q(X,$a)\n\
+              FILTER:\n\
+              COUNT(answer.X) >= %d"
+             threshold)
+      in
+      let expected = Direct.run cat flock in
+      let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9 } in
+      match Dynamic.run ~config cat flock with
+      | Ok r ->
+        if not (R.equal expected r.Dynamic.answers) then
+          Alcotest.failf "seed %d: union dynamic disagrees with direct" seed
+      | Error e -> Alcotest.failf "seed %d: union dynamic failed: %s" seed e)
+    (List.filteri (fun i _ -> i mod 2 = 0) seeds)
+
+(* Pool-size insensitivity: a slice of the corpus, re-run with the shared
+   pool forced to 4 domains and the parallel threshold forced low enough
+   that the parallel kernels actually engage on these small inputs.  The
+   whole suite also runs again under QF_DOMAINS=4 (see dune), so this
+   test's job is the *in-process* size switch. *)
+let with_pool_size size f =
+  let saved_size = Pool.size (Pool.default ()) in
+  Pool.set_default_size size;
+  Fun.protect ~finally:(fun () -> Pool.set_default_size saved_size) f
+
+let test_pool_size_insensitive () =
+  let slice = List.filteri (fun i _ -> i mod 5 = 0) seeds in
+  let run_slice () =
+    List.map
+      (fun seed ->
+        let rel, threshold = instance_of_seed seed in
+        let cat = catalog_of rel in
+        let flock = pair_flock threshold in
+        let expected, results = run_all_executors cat flock in
+        expected, List.map snd results)
+      slice
+  in
+  let sequential = with_pool_size 1 run_slice in
+  let parallel = with_pool_size 4 run_slice in
+  List.iteri
+    (fun i ((e1, rs1), (e2, rs2)) ->
+      let seed = List.nth slice i in
+      if not (R.equal e1 e2) then
+        Alcotest.failf "seed %d: direct differs across pool sizes" seed;
+      List.iter2
+        (fun a b ->
+          if not (R.equal a b) then
+            Alcotest.failf "seed %d: an executor differs across pool sizes"
+              seed)
+        rs1 rs2)
+    (List.combine sequential parallel)
+
+let suite =
+  [
+    Alcotest.test_case "100-seed corpus: all executors = direct" `Slow
+      test_corpus_agrees;
+    Alcotest.test_case "levelwise k=3 plan = direct" `Slow
+      test_levelwise_agrees;
+    Alcotest.test_case "union corpus: dynamic = direct" `Slow
+      test_union_corpus_agrees;
+    Alcotest.test_case "agreement is pool-size insensitive" `Slow
+      test_pool_size_insensitive;
+  ]

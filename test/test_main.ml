@@ -27,4 +27,6 @@ let () =
       "lint", Test_lint.suite;
       "parallel", Test_parallel.suite;
       "properties", Test_props.suite;
+      "differential", Test_differential.suite;
+      "obs", Test_obs.suite;
     ]

@@ -1,0 +1,342 @@
+(* The observability subsystem and the metric invariants it must uphold:
+
+   - disabled (the default) means nothing is recorded;
+   - spans form a well-nested forest (parents started first and enclose
+     their children in time);
+   - every FILTER-step span satisfies rows_out <= groups <= rows_in and
+     carries a pruning ratio in [0,1];
+   - the deterministic metrics (span cardinalities, a-priori and
+     index-cache counters) are identical whatever the Domain pool size —
+     only the "pool." chunk metrics may vary;
+   - [Explain.profile] pairs observed numbers with the cost model's
+     estimates and agrees with the executor's own report. *)
+
+module Obs = Qf_obs.Obs
+module R = Qf_relational.Relation
+module Pool = Qf_exec_pool.Pool
+open Qf_core
+open Qf_testgen.Testgen
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Run [f] with observability on and a clean collector; always restores
+   the previous enabled state and clears the collector afterwards so no
+   other suite sees stale state. *)
+let with_obs f =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled was)
+    f
+
+let attr name (s : Obs.span) = List.assoc_opt name s.Obs.attrs
+
+(* {1 The collector itself} *)
+
+let test_disabled_records_nothing () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  let v = Obs.with_span "ghost" (fun () -> Obs.count "ghost.counter" 1; 42) in
+  check_int "the thunk still runs" 42 v;
+  let r = Obs.report () in
+  check_int "no spans" 0 (List.length r.Obs.spans);
+  check_int "no counters" 0 (List.length r.Obs.counters)
+
+let test_span_nesting_and_metrics () =
+  let r =
+    with_obs (fun () ->
+        Obs.with_span "outer" (fun () ->
+            Obs.set_attr "k" (Obs.Int 1);
+            Obs.with_span "inner" (fun () -> Obs.count "c" 2);
+            Obs.with_span "inner" (fun () -> Obs.count "c" 3));
+        Obs.report ())
+  in
+  (match r.Obs.spans with
+  | [ outer; inner1; inner2 ] ->
+    Alcotest.(check string) "outer first (start order)" "outer" outer.Obs.name;
+    check_bool "outer is a root" true (outer.Obs.parent = None);
+    check_bool "inners point at outer" true
+      (inner1.Obs.parent = Some outer.Obs.id
+      && inner2.Obs.parent = Some outer.Obs.id);
+    check_bool "outer kept its attribute" true
+      (attr "k" outer = Some (Obs.Int 1));
+    Alcotest.(check string) "inner name" "inner" inner1.Obs.name
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans));
+  check_bool "counter accumulated" true (List.assoc "c" r.Obs.counters = 2 + 3)
+
+let test_report_renderers_are_stable () =
+  let render () =
+    with_obs (fun () ->
+        Obs.with_span "a" (fun () ->
+            Obs.set_attr "rows" (Obs.Int 7);
+            Obs.with_span "b" (fun () -> ()));
+        Obs.count "z.counter" 1;
+        Obs.count "a.counter" 2;
+        let r = Obs.report () in
+        Obs.render_text ~redact_timings:true r,
+        Obs.render_json ~redact_timings:true r)
+  in
+  let t1, j1 = render () and t2, j2 = render () in
+  Alcotest.(check string) "redacted text is byte-stable" t1 t2;
+  Alcotest.(check string) "redacted JSON is byte-stable" j1 j2;
+  (* Counters render sorted by name: a.counter before z.counter. *)
+  let find sub s =
+    let n = String.length sub in
+    let rec go i =
+      if i + n > String.length s then None
+      else if String.sub s i n = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let before sub1 sub2 s =
+    match find sub1 s, find sub2 s with
+    | Some i, Some j -> i < j
+    | _ -> false
+  in
+  check_bool "counters sorted by name" true
+    (before "a.counter" "z.counter" t1 && before "a.counter" "z.counter" j1)
+
+(* {1 Span-tree well-nestedness on real executions} *)
+
+let spans_of_execution seed =
+  with_obs (fun () ->
+      let rel, threshold = instance ~seed gen_basket_instance in
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      ignore (Plan_exec.run cat (Optimizer.optimize cat flock));
+      ignore (Direct.run cat flock);
+      (match Dynamic.run cat flock with Ok _ | Error _ -> ());
+      (Obs.report ()).Obs.spans)
+
+let test_span_tree_well_nested () =
+  List.iter
+    (fun seed ->
+      let spans = spans_of_execution seed in
+      check_bool "some spans recorded" true (spans <> []);
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun (s : Obs.span) -> Hashtbl.replace by_id s.Obs.id s) spans;
+      let eps = 1e-3 in
+      List.iter
+        (fun (s : Obs.span) ->
+          check_bool "span has a stop time" true (s.Obs.stop_s >= s.Obs.start_s);
+          match s.Obs.parent with
+          | None -> ()
+          | Some pid -> (
+            match Hashtbl.find_opt by_id pid with
+            | None ->
+              Alcotest.failf "seed %d: span %d has unknown parent %d" seed
+                s.Obs.id pid
+            | Some p ->
+              check_bool "parent started first" true (p.Obs.id < s.Obs.id);
+              check_bool "parent encloses child start" true
+                (p.Obs.start_s -. eps <= s.Obs.start_s);
+              check_bool "parent encloses child stop" true
+                (s.Obs.stop_s <= p.Obs.stop_s +. eps)))
+        spans)
+    [ 1; 2; 3; 11; 42 ]
+
+(* {1 FILTER-step metric invariants (QCheck)} *)
+
+let filter_step_invariants (s : Obs.span) =
+  match attr "reused_from" s with
+  | Some _ ->
+    (* Symmetric reuse: no tabulation happened, only an aliased output. *)
+    attr "rows_out" s <> None
+  | None -> (
+    match
+      attr "rows_in" s, attr "groups" s, attr "rows_out" s,
+      attr "pruning_ratio" s
+    with
+    | Some (Obs.Int ri), Some (Obs.Int g), Some (Obs.Int ro),
+      Some (Obs.Float pr) ->
+      0 <= ro && ro <= g && g <= ri && pr >= 0. && pr <= 1.
+    | _ -> false)
+
+let prop_filter_step_metrics =
+  QCheck.Test.make
+    ~name:"filter.step spans: rows_out <= groups <= rows_in, ratio in [0,1]"
+    ~count:60 arb_basket_instance (fun (rel, threshold) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      let spans =
+        with_obs (fun () ->
+            (match Apriori_gen.singleton_plan flock with
+            | Ok p -> ignore (Plan_exec.run cat p)
+            | Error e -> failwith e);
+            (Obs.report ()).Obs.spans)
+      in
+      let steps =
+        List.filter (fun (s : Obs.span) -> s.Obs.name = "filter.step") spans
+      in
+      steps <> [] && List.for_all filter_step_invariants steps)
+
+let prop_join_span_metrics =
+  QCheck.Test.make
+    ~name:"join spans: rows_out <= probe_rows * build_rows" ~count:60
+    arb_basket_instance (fun (rel, threshold) ->
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      let spans =
+        with_obs (fun () ->
+            ignore (Plan_exec.run cat (Optimizer.optimize cat flock));
+            (Obs.report ()).Obs.spans)
+      in
+      List.for_all
+        (fun (s : Obs.span) ->
+          if not (String.length s.Obs.name >= 5 && String.sub s.Obs.name 0 5 = "join.")
+          then true
+          else
+            match
+              attr "probe_rows" s, attr "build_rows" s, attr "rows_out" s
+            with
+            | Some (Obs.Int a), Some (Obs.Int b), Some (Obs.Int out) ->
+              if s.Obs.name = "join.equi" then out <= a * b else out <= a
+            | _ -> false)
+        spans)
+
+(* {1 Pool-size independence of the deterministic metrics} *)
+
+(* The signature of an execution: every span's (name, attributes) plus all
+   counters except the machine-dependent "pool." chunk metrics.  Gauges
+   are excluded wholesale: the only ones today are chunk timings. *)
+let deterministic_signature seed =
+  with_obs (fun () ->
+      let rel, threshold = instance ~seed gen_basket_instance in
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      ignore (Plan_exec.run cat (Optimizer.optimize cat flock));
+      ignore (Direct.run cat flock);
+      let r = Obs.report () in
+      let spans =
+        List.map (fun (s : Obs.span) -> s.Obs.name, s.Obs.attrs) r.Obs.spans
+      in
+      let counters =
+        List.filter
+          (fun (k, _) -> not (String.starts_with ~prefix:"pool." k))
+          r.Obs.counters
+      in
+      spans, counters)
+
+let with_pool_size size f =
+  let saved = Pool.size (Pool.default ()) in
+  Pool.set_default_size size;
+  Fun.protect ~finally:(fun () -> Pool.set_default_size saved) f
+
+let with_par_threshold value f =
+  let saved = Sys.getenv_opt "QF_PAR_THRESHOLD" in
+  Unix.putenv "QF_PAR_THRESHOLD" value;
+  Fun.protect
+    ~finally:(fun () ->
+      (* env_int ignores the empty string, restoring the default. *)
+      Unix.putenv "QF_PAR_THRESHOLD" (Option.value saved ~default:""))
+    f
+
+let test_metrics_pool_size_independent () =
+  with_par_threshold "16" @@ fun () ->
+  List.iter
+    (fun seed ->
+      let reference = with_pool_size 1 (fun () -> deterministic_signature seed) in
+      List.iter
+        (fun size ->
+          let got = with_pool_size size (fun () -> deterministic_signature seed) in
+          check_bool
+            (Printf.sprintf "seed %d: signature at pool size %d = size 1" seed
+               size)
+            true
+            (got = reference))
+        [ 2; 4 ])
+    [ 0; 5; 9; 23 ]
+
+(* {1 Explain.profile consistency} *)
+
+let test_profile_matches_execution () =
+  let rel, threshold = instance ~seed:3 gen_basket_instance in
+  let cat = catalog_of rel in
+  let flock = pair_flock threshold in
+  let plan = Optimizer.optimize cat flock in
+  let p = Explain.profile cat plan in
+  check_bool "profiling restores the disabled state" true (not (Obs.enabled ()));
+  check_int "one profile row per plan step"
+    (List.length (Plan.all_steps plan))
+    (List.length p.Explain.steps);
+  check_int "result rows = direct evaluation"
+    (R.cardinal (Direct.run cat flock))
+    p.Explain.result_rows;
+  List.iter
+    (fun (s : Explain.step_profile) ->
+      check_bool
+        (Printf.sprintf "step %s: rows_out <= groups <= rows_in" s.Explain.name)
+        true
+        (s.Explain.rows_out <= s.Explain.groups
+        && (s.Explain.reused_from <> None
+           || s.Explain.groups <= s.Explain.rows_in));
+      check_bool
+        (Printf.sprintf "step %s: estimates present on a stored catalog"
+           s.Explain.name)
+        true
+        (s.Explain.est_rows <> None && s.Explain.est_groups <> None))
+    p.Explain.steps;
+  check_bool "no pool counters leak into the profile" true
+    (List.for_all
+       (fun (k, _) -> not (String.starts_with ~prefix:"pool." k))
+       p.Explain.counters);
+  (* Deterministic renderers: two profiled runs of the same plan render
+     identically once timings are redacted.  A fresh catalog keeps the
+     index-cache hit/miss counters comparable (the first run warms the
+     original catalog's cache). *)
+  let p2 = Explain.profile (catalog_of rel) plan in
+  Alcotest.(check string)
+    "redacted text profile is stable"
+    (Explain.profile_text ~redact_timings:true p)
+    (Explain.profile_text ~redact_timings:true p2);
+  Alcotest.(check string)
+    "redacted JSON profile is stable"
+    (Explain.profile_json ~redact_timings:true p)
+    (Explain.profile_json ~redact_timings:true p2)
+
+let test_symmetric_reuse_visible_in_spans () =
+  (* A two-parameter basket flock whose singleton plan has ok_1 and ok_2:
+     by symmetry the second is aliased, and the span says so. *)
+  let rel, _ = instance ~seed:12 gen_basket_instance in
+  let cat = catalog_of rel in
+  let flock = pair_flock 1 in
+  match Apriori_gen.singleton_plan flock with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    let spans =
+      with_obs (fun () ->
+          ignore (Plan_exec.run cat plan);
+          (Obs.report ()).Obs.spans)
+    in
+    let reused =
+      List.filter
+        (fun (s : Obs.span) ->
+          s.Obs.name = "filter.step" && attr "reused_from" s <> None)
+        spans
+    in
+    check_bool "at least one step reused by symmetry" true (reused <> [])
+
+let suite =
+  [
+    Alcotest.test_case "disabled records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "span nesting and metric accumulation" `Quick
+      test_span_nesting_and_metrics;
+    Alcotest.test_case "redacted renderers are byte-stable" `Quick
+      test_report_renderers_are_stable;
+    Alcotest.test_case "span trees are well-nested on real runs" `Quick
+      test_span_tree_well_nested;
+    Alcotest.test_case "deterministic metrics ignore the pool size" `Slow
+      test_metrics_pool_size_independent;
+    Alcotest.test_case "Explain.profile agrees with execution" `Quick
+      test_profile_matches_execution;
+    Alcotest.test_case "symmetric reuse is visible in spans" `Quick
+      test_symmetric_reuse_visible_in_spans;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_filter_step_metrics; prop_join_span_metrics ]

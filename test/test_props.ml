@@ -1,25 +1,16 @@
 (* Property-based tests (qcheck): algebraic laws of the relational layer,
    the core soundness invariant (naive = direct = planned = dynamic) on
    random flock instances, the subquery upper-bound property, and parser
-   round-trips on random rule ASTs. *)
+   round-trips on random rule ASTs.
+
+   All generators live in the shared [Qf_testgen.Testgen] library, which
+   the differential and observability suites reuse with fixed seeds. *)
 module R = Qf_relational.Relation
 module V = Qf_relational.Value
 module Catalog = Qf_relational.Catalog
 module Ast = Qf_datalog.Ast
 open Qf_core
-
-let gen_small_relation ~columns ~max_value ~max_rows =
-  QCheck.Gen.(
-    let* n = int_range 0 max_rows in
-    let* rows =
-      list_size (return n)
-        (list_size
-           (return (List.length columns))
-           (map (fun i -> V.Int i) (int_range 0 max_value)))
-    in
-    return (R.of_values columns rows))
-
-let pp_relation rel = Format.asprintf "%a" R.pp rel
+open Qf_testgen.Testgen
 
 (* {1 Relational-algebra laws} *)
 
@@ -67,34 +58,6 @@ let prop_group_filter_antitone_in_threshold =
       R.fold (fun tup ok -> ok && R.mem low tup) high true)
 
 (* {1 Flock soundness: all evaluators agree} *)
-
-let gen_basket_instance =
-  QCheck.Gen.(
-    let* n_baskets = int_range 1 10 in
-    let* n_items = int_range 1 6 in
-    let* rows =
-      list_size (int_range 0 40)
-        (pair (int_range 1 n_baskets) (int_range 1 n_items))
-    in
-    let* threshold = int_range 1 4 in
-    let rel =
-      R.of_values [ "BID"; "Item" ]
-        (List.map (fun (b, i) -> [ V.Int b; V.Int i ]) rows)
-    in
-    return (rel, threshold))
-
-let arb_basket_instance =
-  QCheck.make
-    ~print:(fun (rel, t) -> Printf.sprintf "threshold %d\n%s" t (pp_relation rel))
-    gen_basket_instance
-
-let pair_flock threshold =
-  Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:threshold
-
-let catalog_of rel =
-  let cat = Catalog.create () in
-  Catalog.add cat "baskets" rel;
-  cat
 
 let prop_naive_equals_direct =
   QCheck.Test.make ~name:"naive = direct on random basket instances" ~count:100
@@ -296,96 +259,6 @@ let prop_subquery_upper_bound =
 
 (* {1 Evaluator vs brute-force reference on random safe extended rules} *)
 
-(* A random catalog over a tiny value universe, so the reference
-   evaluator's assignment space stays small. *)
-let gen_tiny_catalog =
-  QCheck.Gen.(
-    let* p = gen_small_relation ~columns:[ "A"; "B" ] ~max_value:3 ~max_rows:10 in
-    let* q = gen_small_relation ~columns:[ "A" ] ~max_value:3 ~max_rows:5 in
-    let* r = gen_small_relation ~columns:[ "A"; "B" ] ~max_value:3 ~max_rows:10 in
-    let cat = Catalog.create () in
-    Catalog.add cat "p" p;
-    Catalog.add cat "q" q;
-    Catalog.add cat "r" r;
-    return cat)
-
-(* Random safe extended rules: positive atoms bind; negations, comparisons,
-   and the head only use bound terms. *)
-let gen_safe_rule =
-  QCheck.Gen.(
-    let var_pool = [ "X"; "Y"; "Z" ] and param_pool = [ "a"; "b" ] in
-    let gen_fresh_term =
-      frequency
-        [
-          4, map (fun v -> Ast.Var v) (oneofl var_pool);
-          2, map (fun p -> Ast.Param p) (oneofl param_pool);
-          1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 3);
-        ]
-    in
-    let gen_pos =
-      let* pred = oneofl [ "p", 2; "q", 1; "r", 2 ] in
-      let name, arity = pred in
-      let* args = list_size (return arity) gen_fresh_term in
-      return { Ast.pred = name; args }
-    in
-    let* n_pos = int_range 1 3 in
-    let* pos_atoms = list_size (return n_pos) gen_pos in
-    let bound =
-      List.concat_map
-        (fun (a : Ast.atom) ->
-          List.filter_map
-            (function
-              | (Ast.Var _ | Ast.Param _) as t -> Some t
-              | Ast.Const _ -> None)
-            a.args)
-        pos_atoms
-    in
-    let gen_bound_term =
-      if bound = [] then map (fun i -> Ast.Const (V.Int i)) (int_range 0 3)
-      else
-        frequency
-          [
-            3, oneofl bound;
-            1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 3);
-          ]
-    in
-    let* negs =
-      list_size (int_range 0 1)
-        (let* pred = oneofl [ "p", 2; "r", 2 ] in
-         let name, arity = pred in
-         let* args = list_size (return arity) gen_bound_term in
-         return (Ast.Neg { Ast.pred = name; args }))
-    in
-    let* cmps =
-      list_size (int_range 0 2)
-        (let* l = gen_bound_term in
-         let* c = oneofl Ast.[ Lt; Le; Gt; Ge; Eq; Ne ] in
-         let* rt = gen_bound_term in
-         return (Ast.Cmp (l, c, rt)))
-    in
-    let bound_vars =
-      List.filter_map (function Ast.Var v -> Some v | _ -> None) bound
-      |> List.sort_uniq String.compare
-    in
-    let* head_args =
-      match bound_vars with
-      | [] -> return [ Ast.Const (V.Int 0) ]
-      | vs ->
-        let* k = int_range 1 (min 2 (List.length vs)) in
-        let* picked = list_size (return k) (oneofl vs) in
-        return (List.map (fun v -> Ast.Var v) picked)
-    in
-    return
-      {
-        Ast.head = { Ast.pred = "answer"; args = head_args };
-        body = List.map (fun a -> Ast.Pos a) pos_atoms @ negs @ cmps;
-      })
-
-let arb_rule_and_catalog =
-  QCheck.make
-    ~print:(fun (rule, _) -> Qf_datalog.Pretty.rule_to_string rule)
-    QCheck.Gen.(pair gen_safe_rule gen_tiny_catalog)
-
 let prop_eval_matches_reference =
   QCheck.Test.make
     ~name:"evaluator = brute-force reference on random safe rules" ~count:300
@@ -406,51 +279,6 @@ let prop_minimize_preserves_semantics =
            (Qf_datalog.Eval.tabulate catalog minimized))
 
 (* {1 Parser round-trip on random ASTs} *)
-
-let gen_term =
-  QCheck.Gen.(
-    frequency
-      [
-        3, map (fun i -> Ast.Var (Printf.sprintf "X%d" i)) (int_range 0 3);
-        2, map (fun i -> Ast.Param (Printf.sprintf "p%d" i)) (int_range 0 2);
-        1, map (fun i -> Ast.Const (V.Int i)) (int_range 0 9);
-        1, map (fun i -> Ast.Const (V.Str (Printf.sprintf "c%d" i))) (int_range 0 3);
-      ])
-
-let gen_atom =
-  QCheck.Gen.(
-    let* pred = oneofl [ "p"; "q"; "r" ] in
-    let* arity = int_range 1 3 in
-    let* args = list_size (return arity) gen_term in
-    return { Ast.pred; args })
-
-let gen_literal =
-  QCheck.Gen.(
-    frequency
-      [
-        5, map (fun a -> Ast.Pos a) gen_atom;
-        1, map (fun a -> Ast.Neg a) gen_atom;
-        ( 1,
-          let* l = gen_term in
-          let* r = gen_term in
-          let* c = oneofl Ast.[ Lt; Le; Gt; Ge; Eq; Ne ] in
-          return (Ast.Cmp (l, c, r)) );
-      ])
-
-let gen_rule =
-  QCheck.Gen.(
-    let* body = list_size (int_range 1 5) gen_literal in
-    let* head_args = list_size (int_range 1 2) gen_term in
-    (* Heads must not contain parameters (flock convention). *)
-    let head_args =
-      List.map
-        (function Ast.Param p -> Ast.Var ("P" ^ p) | t -> t)
-        head_args
-    in
-    return { Ast.head = { Ast.pred = "answer"; args = head_args }; body })
-
-let arb_rule =
-  QCheck.make ~print:Qf_datalog.Pretty.rule_to_string gen_rule
 
 let prop_pretty_parse_roundtrip =
   QCheck.Test.make ~name:"pretty-print then parse is the identity" ~count:300
