@@ -42,6 +42,20 @@ let time3 f =
   let sorted = List.sort compare [ a; b; c ] in
   v, List.nth sorted 1
 
+(* Best of [k] runs: on a shared container the interference (CFS quota
+   throttling, neighbour noise) is strictly additive, so the smallest
+   sample is the one nearest the true cost.  The E14 ablation compares
+   engines against each other, and a single throttled sample in a
+   median-of-3 can swing a ratio by an order of magnitude. *)
+let time_best k f =
+  let v, t0 = time f in
+  let best = ref t0 in
+  for _ = 2 to k do
+    let _, t = time f in
+    if t < !best then best := t
+  done;
+  v, !best
+
 let header id title = Format.printf "@.=== %s: %s ===@." id title
 
 let row fmt = Format.printf fmt
@@ -557,7 +571,7 @@ module Pool = Qf_exec_pool.Pool
 type e12_entry = {
   workload : string;
   domains : int;
-  median_s : float;
+  best_s : float;
   speedup : float;
   cache_hits : int;
   cache_misses : int;
@@ -571,8 +585,8 @@ let e12_write_json entries =
   let oc = open_out e12_json_file in
   let field (e : e12_entry) =
     Printf.sprintf
-      {|    { "workload": %S, "domains": %d, "median_s": %.6f, "speedup": %.3f, "cache_hits": %d, "cache_misses": %d }|}
-      e.workload e.domains e.median_s e.speedup e.cache_hits e.cache_misses
+      {|    { "workload": %S, "domains": %d, "best_s": %.6f, "speedup": %.2f, "cache_hits": %d, "cache_misses": %d }|}
+      e.workload e.domains e.best_s e.speedup e.cache_hits e.cache_misses
   in
   Printf.fprintf oc
     "{\n  \"experiment\": \"E12\",\n  \"quick\": %b,\n  \"clock\": \
@@ -591,27 +605,100 @@ let e12 () =
      forces 1/2/4/8@."
     (Domain.recommended_domain_count ());
   let sweep name catalog runs =
-    row "@.%-30s %8s %12s %9s %12s@." name "domains" "median (s)" "speedup"
+    row "@.%-30s %8s %12s %9s %12s@." name "domains" "best (s)" "speedup"
       "cache hit%";
-    (* Baseline: one domain (pure sequential paths).  Every other pool
-       size must produce a [Relation.equal] result. *)
+    let sizes = [ 1; 2; 4; 8 ] in
+    let nsizes = List.length sizes in
+    (* Warm-up: build the shared index-cache entries once, so the counter
+       pass below measures every pool size against the same warm cache
+       (otherwise whichever size runs first absorbs all the misses). *)
+    ignore (runs ());
+    (* Pass 1 — correctness and counter attribution, once per pool size.
+       The 1-domain run is the baseline; every other size must produce a
+       [Relation.equal] result.  The index-cache counters live on a cache
+       shared across every [Catalog.copy] a run makes, so a reset would
+       clobber other runs' baselines and cumulative reads conflate runs:
+       mark before, read the delta after. *)
     let baseline = ref None in
-    List.iter
-      (fun size ->
-        Pool.set_default_size size;
-        Catalog.reset_index_stats catalog;
-        let result, t = time3 runs in
-        let hits, misses = Catalog.index_stats catalog in
-        let t1 =
-          match !baseline with
-          | None ->
-            baseline := Some (result, t);
-            t
-          | Some (expected, t1) ->
+    let stats =
+      List.map
+        (fun size ->
+          Pool.set_default_size size;
+          let mark = Catalog.index_stats_mark catalog in
+          let result = runs () in
+          let hits, misses = Catalog.index_stats_since catalog mark in
+          (match !baseline with
+          | None -> baseline := Some result
+          | Some expected ->
             check_equal (Printf.sprintf "E12 %s @ %d domains" name size)
-              expected result;
-            t1
-        in
+              expected result);
+          (size, hits, misses))
+        sizes
+    in
+    (* Pass 2 — timing, round-robin: one sample per size per round, so a
+       shared container's scheduling drift lands on every configuration
+       equally instead of biasing whichever ran last.  [Gc.full_major]
+       levels the heap before each sample (no configuration pays to
+       collect another's garbage), and the per-size minimum over the
+       rounds is the noise-robust estimator: interference is strictly
+       additive, so with enough rounds every size touches its true
+       floor.  (On a host with no parallel headroom the floors coincide
+       by construction — the kernels never dispatch — so the reported
+       speedups sit at 1.0 up to residual scheduler jitter.) *)
+    let rounds = if !quick then 7 else 101 in
+    let keep = if !quick then 3 else 11 in
+    let samples = Array.make_matrix nsizes rounds infinity in
+    let order = Array.init nsizes Fun.id in
+    let sizes_arr = Array.of_list sizes in
+    (* Clock-seeded: a fixed seed replays the same within-round order
+       every invocation, so any aliasing against the container's CPU
+       throttling period repeats identically instead of averaging out. *)
+    let rng = ref (int_of_float (Unix.gettimeofday () *. 1e6) land 0x3FFFFFFF) in
+    let next_rng () =
+      rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+      (!rng lsr 12) land 0x7FFF
+    in
+    for round = 0 to rounds - 1 do
+      (* Shuffle the within-round order (Fisher–Yates): a fixed order
+         gives every configuration a fixed phase inside the round, and
+         on a CPU-quota'd container that phase aliases with the
+         scheduler's throttling period — a positional bias no per-size
+         estimator can remove.  Randomized order turns it into noise. *)
+      for i = nsizes - 1 downto 1 do
+        let j = next_rng () mod (i + 1) in
+        let tmp = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- tmp
+      done;
+      Array.iter
+        (fun i ->
+          Pool.set_default_size sizes_arr.(i);
+          Gc.full_major ();
+          let _, t = time runs in
+          samples.(i).(round) <- t)
+        order
+    done;
+    (* Estimator: mean of the [keep] smallest samples.  Interference is
+       strictly additive, so the smallest samples sit nearest the true
+       cost; averaging several of them has far less variance than the
+       raw minimum, and the slight common upward bias cancels in the
+       speedup ratio. *)
+    let best =
+      Array.map
+        (fun row ->
+          let sorted = Array.copy row in
+          Array.sort compare sorted;
+          let s = ref 0. in
+          for i = 0 to keep - 1 do
+            s := !s +. sorted.(i)
+          done;
+          !s /. float_of_int keep)
+        samples
+    in
+    let t1 = best.(0) in
+    List.iteri
+      (fun i (size, hits, misses) ->
+        let t = best.(i) in
         let hit_pct =
           if hits + misses = 0 then 0.
           else 100. *. float_of_int hits /. float_of_int (hits + misses)
@@ -620,7 +707,7 @@ let e12 () =
           {
             workload = name;
             domains = size;
-            median_s = t;
+            best_s = t;
             speedup = t1 /. Float.max 1e-9 t;
             cache_hits = hits;
             cache_misses = misses;
@@ -629,7 +716,7 @@ let e12 () =
         row "%-30s %8d %12.3f %8.2fx %11.1f%%@." name size t
           (t1 /. Float.max 1e-9 t)
           hit_pct)
-      [ 1; 2; 4; 8 ]
+      stats
   in
   (* The E1 market workload under its a-priori plan. *)
   let docs = if !quick then 600 else 2500 in
@@ -811,6 +898,150 @@ let e13 () =
   examine "E3 medical / Fig. 5 plan" medical med_plan;
   if !json then e13_write_json !e13_entries
 
+(* {1 E14 — physical layout ablation: row vs columnar kernels × domains} *)
+
+module Layout = Qf_relational.Layout
+
+type e14_entry = {
+  e14_workload : string;
+  e14_layout : string;
+  e14_domains : int;
+  e14_best_s : float;
+  e14_vs_row : float;
+      (* row best / this engine's best at the same domain count *)
+}
+
+let e14_entries : e14_entry list ref = ref []
+
+let e14_json_file = "BENCH_columnar.json"
+
+let e14_write_json entries =
+  let oc = open_out e14_json_file in
+  let field (e : e14_entry) =
+    Printf.sprintf
+      {|    { "workload": %S, "layout": %S, "domains": %d, "best_s": %.6f, "vs_row": %.2f }|}
+      e.e14_workload e.e14_layout e.e14_domains e.e14_best_s e.e14_vs_row
+  in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E14\",\n  \"quick\": %b,\n  \"clock\": \
+     \"wall\",\n  \"entries\": [\n%s\n  ]\n}\n"
+    !quick
+    (String.concat ",\n" (List.map field (List.rev entries)));
+  close_out oc;
+  row "wrote %s (%d entries)@." e14_json_file (List.length entries)
+
+let e14 () =
+  header "E14"
+    "physical layout ablation — row vs columnar kernels over the E1 and E3 \
+     plans, per pool size";
+  row
+    "both layouts compute identical result sets; vs_row is the row \
+     engine's best over this engine's best at the same domain count@.";
+  let reps = if !quick then 3 else 7 in
+  let ablate name runs =
+    row "@.%-30s %8s %10s %12s %9s@." name "domains" "layout" "best (s)"
+      "vs row";
+    (* Warm both layouts once before anything is timed: the first
+       execution under each layout pays one-time costs the others don't —
+       materializing that layout's representation of the base relations
+       and populating the version-keyed index cache.  Without this the
+       first configs in sweep order absorb those costs and the ratios are
+       distorted (the very effect the E12 sweep's warm-up removes). *)
+    List.iter
+      (fun mode ->
+        Layout.set_override (Some mode);
+        ignore (runs ());
+        Layout.set_override None)
+      [ Layout.Row; Layout.Columnar ];
+    let expected = ref None in
+    List.iter
+      (fun domains ->
+        Pool.set_default_size domains;
+        let t_row = ref nan in
+        List.iter
+          (fun mode ->
+            Layout.set_override (Some mode);
+            Gc.compact ();
+            let result, t = time_best reps runs in
+            Layout.set_override None;
+            (match !expected with
+            | None -> expected := Some result
+            | Some e ->
+              check_equal
+                (Printf.sprintf "E14 %s / %s @ %d domains" name
+                   (Layout.to_string mode) domains)
+                e result);
+            let vs_row =
+              match mode with
+              | Layout.Row ->
+                t_row := t;
+                1.
+              | Layout.Columnar -> !t_row /. Float.max 1e-9 t
+            in
+            e14_entries :=
+              {
+                e14_workload = name;
+                e14_layout = Layout.to_string mode;
+                e14_domains = domains;
+                e14_best_s = t;
+                e14_vs_row = vs_row;
+              }
+              :: !e14_entries;
+            row "%-30s %8d %10s %12.3f %8.2fx@." name domains
+              (Layout.to_string mode) t vs_row)
+          [ Layout.Row; Layout.Columnar ])
+      [ 1; 2; 4 ]
+  in
+  (* Same workloads and plans as E12, so the layout ablation reads against
+     the same baseline the scaling sweep established. *)
+  let docs = if !quick then 600 else 2500 in
+  let market =
+    Qf_workload.Market.catalog
+      {
+        Qf_workload.Market.n_baskets = docs;
+        n_items = docs * 10;
+        avg_basket_size = 24;
+        zipf_exponent = 0.85;
+        seed = 101;
+      }
+  in
+  let pair_flock = Apriori_gen.basket_flock ~pred:"baskets" ~k:2 ~support:20 in
+  let pair_plan =
+    match Apriori_gen.singleton_plan pair_flock with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  ablate "E1 market / a-priori plan" (fun () ->
+      Plan_exec.run market pair_plan);
+  let mconfig =
+    {
+      Qf_workload.Medical.default with
+      n_patients = (if !quick then 2500 else 8000);
+      n_symptoms = 12000;
+      n_medicines = 2000;
+      background_symptoms = 10;
+      background_medicines = 3;
+      symptom_zipf = 0.5;
+      medicine_zipf = 0.5;
+      seed = 31;
+    }
+  in
+  let { Qf_workload.Medical.catalog = medical; _ } =
+    Qf_workload.Medical.generate mconfig
+  in
+  let med_flock = medical_flock 20 in
+  let med_plan =
+    match
+      Apriori_gen.param_set_plan med_flock ~param_sets:[ [ "s" ]; [ "m" ] ]
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  ablate "E3 medical / Fig. 5 plan" (fun () ->
+      Plan_exec.run medical med_plan);
+  Pool.set_default_size (Pool.default_size ());
+  if !json then e14_write_json !e14_entries
+
 (* {1 Bechamel micro-benchmarks: one Test per experiment's core contrast} *)
 
 let bechamel_suite () =
@@ -939,6 +1170,7 @@ let all_experiments =
     "E11", e11;
     "E12", e12;
     "E13", e13;
+    "E14", e14;
     "BECHAMEL", bechamel_suite;
   ]
 

@@ -119,9 +119,12 @@ let run_step work ~options ~step_names ~canon ~cache ~est (flock : Flock.t)
       Filter.to_aggregate flock.filter
         ~head_columns:(Eval.head_columns (List.hd s.query))
     in
-    let groups = Relation.cardinal (Relation.project tab keys) in
-    let survivors =
-      Aggregate.group_filter tab ~keys ~func
+    (* One grouping pass yields both the survivors and the candidate
+       count: [group_filter_report]'s candidate count is exactly
+       [Relation.cardinal (Relation.project tab keys)], so the separate
+       projection pass this step used to make is fused away. *)
+    let survivors, groups =
+      Aggregate.group_filter_report tab ~keys ~func
         ~threshold:flock.filter.threshold
     in
     Catalog.add work s.name survivors;

@@ -5,6 +5,10 @@ module Relation = Qf_relational.Relation
 module Index = Qf_relational.Index
 module Catalog = Qf_relational.Catalog
 module Statistics = Qf_relational.Statistics
+module Layout = Qf_relational.Layout
+module Dict = Qf_relational.Dict
+module Chunkrel = Qf_relational.Chunkrel
+module Buf = Chunkrel.Buf
 module Pool = Qf_exec_pool.Pool
 
 exception Error of string
@@ -26,12 +30,39 @@ let relation_for catalog (a : Ast.atom) =
 
 module Envs = struct
   (* [slots] maps a binding key to its column in every row; rows all have
-     width [List.length slots]. *)
-  type t = { slots : (string * int) list; rows : Value.t array list }
+     width [List.length slots].
 
-  let start () = { slots = []; rows = [ [||] ] }
+     Two physical engines share the interface, picked by {!Layout.mode}
+     at {!start}:
+
+     - [Vals]: one boxed [Value.t array] per environment (the original
+       representation) — rows are what the row-mode kernels consume.
+     - [Codes]: all environments in one flat dictionary-code array of
+       stride [width] ([count * width] ints).  Binding extension probes
+       the {!Index.code_index} chains directly over code arrays, filters
+       compare codes, and parallel steps emit per-chunk {!Chunkrel.Buf}s
+       merged by a single blit — no per-row boxing anywhere on the hot
+       path. *)
+  type repr =
+    | Vals of Value.t array list
+    | Codes of { width : int; count : int; data : int array }
+
+  type t = { slots : (string * int) list; repr : repr }
+
+  let start () =
+    let repr =
+      match Layout.mode () with
+      | Layout.Columnar -> Codes { width = 0; count = 1; data = [||] }
+      | Layout.Row -> Vals [ [||] ]
+    in
+    { slots = []; repr }
+
   let bound_keys t = List.map fst t.slots
-  let count t = List.length t.rows
+
+  let count t =
+    match t.repr with
+    | Vals rows -> List.length rows
+    | Codes { count; _ } -> count
 
   let slot_of t key = List.assoc_opt key t.slots
 
@@ -74,6 +105,76 @@ module Envs = struct
           !acc)
       |> List.concat
     end
+
+  (* {2 Code-engine helpers}
+
+     A [Codes] step produces per-chunk [Buf]s (each an [(emitted rows) *
+     stride] run of codes) and merges them with one pre-sized allocation
+     and [Array.blit] per chunk — the merge never boxes a row. *)
+
+  let merge_code_chunks ~width pieces =
+    let count = List.fold_left (fun acc (k, _) -> acc + k) 0 pieces in
+    let data = Array.make (count * width) 0 in
+    let pos = ref 0 in
+    List.iter (fun (_, b) -> pos := Buf.blit_into b data !pos) pieces;
+    Codes { width; count; data }
+
+  (* [filter_codes mk_pred ~width ~count ~data] keeps the rows satisfying
+     the predicate ([mk_pred ()] is called once per chunk so predicates
+     may own scratch buffers; the predicate receives the row's base
+     offset). *)
+  let filter_codes mk_pred ~width ~count ~data =
+    let run ~lo ~hi =
+      let pred = mk_pred () in
+      let out = Buf.create ((hi - lo) * width) in
+      let kept = ref 0 in
+      for r = lo to hi - 1 do
+        let base = r * width in
+        if pred base then begin
+          incr kept;
+          for c = 0 to width - 1 do Buf.push out data.(base + c) done
+        end
+      done;
+      !kept, out
+    in
+    let pool = Pool.default () in
+    let pieces =
+      if Pool.size pool = 1 || count < Pool.par_threshold () then
+        [ run ~lo:0 ~hi:count ]
+      else Pool.run_chunks pool ~n:count run
+    in
+    merge_code_chunks ~width pieces
+
+  (* Chain-walk membership over a full-arity code index: does any row of
+     the indexed chunk match the probe codes exactly? *)
+  let code_mem (ci : Index.code_index) probe =
+    let nkeys = Array.length probe in
+    let h = Chunkrel.hash_codes probe in
+    let rec keys_eq row k =
+      k >= nkeys
+      || Array.unsafe_get (Array.unsafe_get ci.key_cols k) row
+         = Array.unsafe_get probe k
+         && keys_eq row (k + 1)
+    in
+    let rec walk j = j >= 0 && (keys_eq j 0 || walk ci.next.(j)) in
+    walk ci.heads.(h land ci.mask)
+
+  (* A term as seen by the code engine: a pre-encoded constant or a slot
+     offset into the current row. *)
+  let code_spec t = function
+    | Ast.Const v -> `Const (Dict.encode v)
+    | (Ast.Var _ | Ast.Param _) as term -> (
+      let key = Ast.binding_key term in
+      match slot_of t key with
+      | Some s -> `Slot s
+      | None -> errorf "unbound %s in non-positive subgoal" key)
+
+  (* A transient full-arity code index for membership filtering.  Built
+     with [Index.build] directly — NOT through the catalog cache — so the
+     [index_cache] hit/miss counters stay identical to row mode, where
+     membership goes through [Relation.mem] and never touches the cache. *)
+  let membership_index rel =
+    Index.code_index (Index.build rel (List.init (Relation.arity rel) Fun.id))
 
   (* How each argument position of an atom is consumed given current slots:
      part of the lookup key, a fresh binding, or an intra-tuple check
@@ -144,31 +245,115 @@ module Envs = struct
         | Key_const _ | Key_slot _ -> ())
       roles;
     let fills = List.rev !fills and checks = List.rev !checks in
-    let extend_row row =
-      let key = Tuple.of_list (List.map (fun f -> f row) key_builders) in
-      List.filter_map
-        (fun tup ->
-          let fresh_values = List.map (Tuple.get tup) fills in
-          let ok =
-            List.for_all
-              (fun (pos, i) ->
-                Value.equal (Tuple.get tup pos) (List.nth fresh_values i))
-              checks
-          in
-          if not ok then None
-          else begin
-            let row' = Array.make new_width (Value.Int 0) in
-            Array.blit row 0 row' 0 width;
-            List.iteri (fun i v -> row'.(width + i) <- v) fresh_values;
-            Some row'
-          end)
-        (Index.lookup idx key)
-    in
-    let rows = par_concat_map extend_row t.rows in
     let slots =
       t.slots @ List.mapi (fun i key -> key, width + i) fresh_keys
     in
-    { slots; rows }
+    match t.repr with
+    | Vals rows ->
+      let extend_row row =
+        let key = Tuple.of_list (List.map (fun f -> f row) key_builders) in
+        List.filter_map
+          (fun tup ->
+            let fresh_values = List.map (Tuple.get tup) fills in
+            let ok =
+              List.for_all
+                (fun (pos, i) ->
+                  Value.equal (Tuple.get tup pos) (List.nth fresh_values i))
+                checks
+            in
+            if not ok then None
+            else begin
+              let row' = Array.make new_width (Value.Int 0) in
+              Array.blit row 0 row' 0 width;
+              List.iteri (fun i v -> row'.(width + i) <- v) fresh_values;
+              Some row'
+            end)
+          (Index.lookup idx key)
+      in
+      { slots; repr = Vals (par_concat_map extend_row rows) }
+    | Codes { width = w; count; data } ->
+      assert (w = width);
+      (* Everything below runs over flat code arrays.  The probe key for
+         an environment is its slot codes plus pre-encoded constant codes,
+         hashed exactly as the index hashed its key columns
+         ([Chunkrel.hash_codes] = [Chunkrel.hash_key] for equal keys). *)
+      let ci = Index.code_index idx in
+      let key_specs =
+        Array.of_list
+          (List.filter_map
+             (function
+               | Key_const v -> Some (`Const (Dict.encode v))
+               | Key_slot s -> Some (`Slot s)
+               | Bind_new | Check_new _ -> None)
+             roles)
+      in
+      let nkeys = Array.length key_specs in
+      let chunk_cols = ci.Index.chunk.Chunkrel.cols in
+      let fill_cols =
+        Array.of_list (List.map (fun pos -> chunk_cols.(pos)) fills)
+      in
+      let n_fresh = Array.length fill_cols in
+      (* An intra-tuple repeat check compares two columns of the *same*
+         candidate row, so it needs no per-row fresh-value staging. *)
+      let check_pairs =
+        Array.of_list
+          (List.map
+             (fun (pos, i) -> chunk_cols.(pos), fill_cols.(i))
+             checks)
+      in
+      let nchecks = Array.length check_pairs in
+      let run ~lo ~hi =
+        let out = Buf.create ((hi - lo) * new_width) in
+        let emitted = ref 0 in
+        let probe = Array.make nkeys 0 in
+        for r = lo to hi - 1 do
+          let base = r * width in
+          for k = 0 to nkeys - 1 do
+            probe.(k) <-
+              (match Array.unsafe_get key_specs k with
+              | `Const c -> c
+              | `Slot s -> Array.unsafe_get data (base + s))
+          done;
+          let h = Chunkrel.hash_codes probe in
+          let j = ref ci.Index.heads.(h land ci.Index.mask) in
+          while !j >= 0 do
+            let row = !j in
+            let rec keys_eq k =
+              k >= nkeys
+              || Array.unsafe_get
+                   (Array.unsafe_get ci.Index.key_cols k)
+                   row
+                 = Array.unsafe_get probe k
+                 && keys_eq (k + 1)
+            in
+            let rec checks_ok c =
+              c >= nchecks
+              ||
+              let ca, cb = Array.unsafe_get check_pairs c in
+              Array.unsafe_get ca row = Array.unsafe_get cb row
+              && checks_ok (c + 1)
+            in
+            if keys_eq 0 && checks_ok 0 then begin
+              incr emitted;
+              for c = 0 to width - 1 do
+                Buf.push out (Array.unsafe_get data (base + c))
+              done;
+              for k = 0 to n_fresh - 1 do
+                Buf.push out (Array.unsafe_get (Array.unsafe_get fill_cols k) row)
+              done
+            end;
+            j := ci.Index.next.(row)
+          done
+        done;
+        !emitted, out
+      in
+      let pool = Pool.default () in
+      let pieces =
+        if Pool.size pool = 1 || count < Pool.par_threshold () then
+          [ run ~lo:0 ~hi:count ]
+        else Pool.run_chunks pool ~n:count run
+      in
+      { slots; repr = merge_code_chunks ~width:new_width pieces }
 
   let term_getter t = function
     | Ast.Const v -> fun (_ : Value.t array) -> v
@@ -178,26 +363,74 @@ module Envs = struct
       | Some s -> fun row -> row.(s)
       | None -> errorf "unbound %s in non-positive subgoal" key)
 
+  (* [specs] as per {!code_spec}; builds a per-chunk closure that writes
+     the instantiated code tuple into its own scratch array. *)
+  let probe_filler specs data =
+    let specs = Array.of_list specs in
+    let n = Array.length specs in
+    fun () ->
+      let scratch = Array.make n 0 in
+      fun base ->
+        for k = 0 to n - 1 do
+          scratch.(k) <-
+            (match Array.unsafe_get specs k with
+            | `Const c -> c
+            | `Slot s -> Array.unsafe_get data (base + s))
+        done;
+        scratch
+
   let filter_neg catalog t (a : Ast.atom) =
     let rel = relation_for catalog a in
-    let getters = List.map (term_getter t) a.args in
-    let rows =
-      par_filter
-        (fun row ->
-          let tup = Tuple.of_list (List.map (fun g -> g row) getters) in
-          not (Relation.mem rel tup))
-        t.rows
-    in
-    { t with rows }
+    match t.repr with
+    | Vals rows ->
+      let getters = List.map (term_getter t) a.args in
+      (* Force the membership table on this domain before the fan-out:
+         [Relation.mem] materializes lazily and must not race. *)
+      Relation.prepare rel;
+      let rows =
+        par_filter
+          (fun row ->
+            let tup = Tuple.of_list (List.map (fun g -> g row) getters) in
+            not (Relation.mem rel tup))
+          rows
+      in
+      { t with repr = Vals rows }
+    | Codes { width; count; data } ->
+      let ci = membership_index rel in
+      let mk = probe_filler (List.map (code_spec t) a.args) data in
+      let mk_pred () =
+        let fill = mk () in
+        fun base -> not (code_mem ci (fill base))
+      in
+      { t with repr = filter_codes mk_pred ~width ~count ~data }
+
+  (* A term as a [Value.t] reader over the flat code array (constants are
+     hoisted; slot codes decode through the lock-free dictionary). *)
+  let value_getter t data = function
+    | Ast.Const v -> fun (_ : int) -> v
+    | (Ast.Var _ | Ast.Param _) as term -> (
+      let key = Ast.binding_key term in
+      match slot_of t key with
+      | Some s -> fun base -> Dict.decode (Array.unsafe_get data (base + s))
+      | None -> errorf "unbound %s in non-positive subgoal" key)
 
   let filter_cmp t left cmp right =
-    let gl = term_getter t left and gr = term_getter t right in
-    let rows =
-      par_filter
-        (fun row -> Ast.comparison_eval (Value.compare (gl row) (gr row)) cmp)
-        t.rows
-    in
-    { t with rows }
+    match t.repr with
+    | Vals rows ->
+      let gl = term_getter t left and gr = term_getter t right in
+      let rows =
+        par_filter
+          (fun row ->
+            Ast.comparison_eval (Value.compare (gl row) (gr row)) cmp)
+          rows
+      in
+      { t with repr = Vals rows }
+    | Codes { width; count; data } ->
+      let gl = value_getter t data left and gr = value_getter t data right in
+      let mk_pred () base =
+        Ast.comparison_eval (Value.compare (gl base) (gr base)) cmp
+      in
+      { t with repr = filter_codes mk_pred ~width ~count ~data }
 
   let key_positions t keys =
     List.map
@@ -209,23 +442,58 @@ module Envs = struct
 
   let project t ~keys ~columns =
     let positions = key_positions t keys in
-    let rel = Relation.create (Schema.of_list columns) in
-    List.iter
-      (fun row ->
-        Relation.add rel (Tuple.of_list (List.map (Array.get row) positions)))
-      t.rows;
-    rel
+    match t.repr with
+    | Vals rows ->
+      let rel = Relation.create (Schema.of_list columns) in
+      List.iter
+        (fun row ->
+          Relation.add rel
+            (Tuple.of_list (List.map (Array.get row) positions)))
+        rows;
+      rel
+    | Codes { width; count; data } ->
+      (* Gather the projected columns out of the stride layout, dedupe the
+         code rows in one open-addressing pass, and hand the surviving
+         distinct rows to the relation as an already-distinct chunk. *)
+      let pcols =
+        Array.of_list
+          (List.map
+             (fun p ->
+               Array.init count (fun r -> Array.unsafe_get data ((r * width) + p)))
+             positions)
+      in
+      let idxs = Chunkrel.distinct_rows pcols count in
+      let chunk =
+        {
+          Chunkrel.nrows = Array.length idxs;
+          cols = Chunkrel.gather_cols pcols idxs;
+          rows_cache = None;
+        }
+      in
+      Relation.of_chunkrel (Schema.of_list columns) chunk
 
   let semijoin t ~keys ~keep =
     let positions = key_positions t keys in
-    let rows =
-      par_filter
-        (fun row ->
-          Relation.mem keep
-            (Tuple.of_list (List.map (Array.get row) positions)))
-        t.rows
-    in
-    { t with rows }
+    match t.repr with
+    | Vals rows ->
+      (* Same lazy-materialization guard as [filter_neg]. *)
+      Relation.prepare keep;
+      let rows =
+        par_filter
+          (fun row ->
+            Relation.mem keep
+              (Tuple.of_list (List.map (Array.get row) positions)))
+          rows
+      in
+      { t with repr = Vals rows }
+    | Codes { width; count; data } ->
+      let ci = membership_index keep in
+      let mk = probe_filler (List.map (fun s -> `Slot s) positions) data in
+      let mk_pred () =
+        let fill = mk () in
+        fun base -> code_mem ci (fill base)
+      in
+      { t with repr = filter_codes mk_pred ~width ~count ~data }
 end
 
 (* {1 Literal ordering} *)

@@ -12,7 +12,12 @@
 
 type t
 
-(** [create ~size] spawns [max 1 size - 1] worker domains. *)
+(** [create ~size] makes a pool of parallelism [max 1 size].  Its
+    [size - 1] worker domains are spawned lazily on the first multi-task
+    {!run_all}, not here: an idle domain is not free (every minor-GC
+    stop-the-world must rendezvous with it), so a pool that never
+    dispatches — e.g. when {!par_threshold} keeps every kernel
+    sequential on a host with no parallel headroom — costs nothing. *)
 val create : size:int -> t
 
 (** Total parallelism (workers + caller). *)
@@ -28,10 +33,12 @@ val shutdown : t -> unit
     (after all thunks have finished). *)
 val run_all : t -> (unit -> 'a) list -> 'a list
 
-(** [run_chunks pool ~n f] splits [0, n)] into at most [size pool]
-    near-equal [~lo ~hi) ranges and runs [f] on each in parallel,
-    returning per-chunk results in ascending-range order.  Deterministic
-    given deterministic [f]. *)
+(** [run_chunks pool ~n f] splits [0, n)] into near-equal [~lo ~hi)
+    ranges and runs [f] on each in parallel, returning per-chunk results
+    in ascending-range order.  The chunk count is proportional to the
+    pool size (a small oversubscription factor lets fast domains steal
+    slack from stragglers); a size-1 pool gets exactly one chunk.
+    Deterministic given deterministic [f]. *)
 val run_chunks : t -> n:int -> (lo:int -> hi:int -> 'a) -> 'a list
 
 (** The chunk boundaries {!run_chunks} uses (exposed for tests). *)
@@ -41,8 +48,18 @@ val chunks_of : size:int -> n:int -> (int * int) list
     positive integer, else [Domain.recommended_domain_count ()]. *)
 val default_size : unit -> int
 
-(** Input cardinality below which parallel kernels stay sequential:
-    [QF_PAR_THRESHOLD] when set, else 4096. *)
+(** Input cardinality below which parallel kernels stay sequential.
+    [QF_PAR_THRESHOLD] (positive integer) overrides — resolved when the
+    default pool is created, so override-then-[set_default_size] takes
+    effect and the per-call cost is a field read; otherwise the
+    threshold is calibrated on first use — per pool size, cached — by
+    measuring the pool's actual dispatch cost against a per-row work
+    proxy, scaled by the winnable fraction [1 - 1/eff] where [eff] is
+    [min (pool size) (hardware domain count)], and clamped to
+    [1024, 2^20].  When [eff <= 1] (a pool no wider than one hardware
+    thread, or any pool on a 1-core host) the threshold is [max_int]:
+    with no parallel headroom a fan-out can only lose, so the kernels
+    never dispatch. *)
 val par_threshold : unit -> int
 
 (** The shared pool, created lazily from {!default_size}. *)

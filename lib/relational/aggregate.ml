@@ -1,5 +1,6 @@
 module Pool = Qf_exec_pool.Pool
 module Obs = Qf_obs.Obs
+module Buf = Chunkrel.Buf
 
 type func =
   | Count
@@ -50,7 +51,7 @@ let eval func schema tuples =
           else acc)
         (Tuple.get first pos) rest)
 
-(* {1 Parallel grouping}
+(* {1 Row-layout parallel grouping}
 
    Group-by is the FILTER step's core operation and routinely runs over
    millions of tabulated rows, so it gets the full two-phase treatment:
@@ -106,27 +107,221 @@ let group_by_parallel pool rel ~key_positions ~func =
   in
   List.concat per_partition
 
+let group_by_rows ?pool ?par_threshold rel ~keys ~func =
+  let threshold =
+    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
+  in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && Relation.cardinal rel >= threshold then
+    let key_positions =
+      Array.of_list (List.map (Schema.position (Relation.schema rel)) keys)
+    in
+    group_by_parallel pool rel ~key_positions ~func
+  else begin
+    let schema = Relation.schema rel in
+    let idx = Index.build_on rel keys in
+    let out = ref [] in
+    Index.iter_groups
+      (fun key tuples -> out := (key, eval func schema tuples) :: !out)
+      idx;
+    !out
+  end
+
+(* {1 Columnar grouping}
+
+   Rows are grouped by their key *codes*: a group id per distinct key
+   row, assigned through either a dense code→gid map (single key column
+   with a small code domain — the perfect-hash path) or open addressing
+   over representative rows.  Aggregates then accumulate into per-gid
+   arrays in one vectorized pass; [SUM]/[MIN]/[MAX] decode the measure
+   column's codes on the fly (an array read per row), [COUNT] touches no
+   values at all.
+
+   The parallel path reuses the two-phase scheme above, but over int
+   buffers: scatter row indices by key hash into [d] disjoint partitions,
+   then group and aggregate each partition independently; per-partition
+   results merge by [Array.blit]. *)
+
+(* Group the rows listed in [idxs]; returns [rep] (one representative row
+   per group, in first-appearance order) and [gid] (parallel to [idxs]). *)
+let group_rows key_cols idxs =
+  let m = Array.length idxs in
+  let gid = Array.make m 0 in
+  let dense_path () =
+    match key_cols with
+    | [| col |] when m > 0 ->
+      let maxc = ref 0 in
+      for k = 0 to m - 1 do
+        let c = Array.unsafe_get col (Array.unsafe_get idxs k) in
+        if c > !maxc then maxc := c
+      done;
+      if !maxc <= (2 * m) + 1024 then Some !maxc else None
+    | _ -> None
+  in
+  match dense_path () with
+  | Some maxc ->
+    let col = key_cols.(0) in
+    let map = Array.make (maxc + 1) (-1) in
+    let rep = Buf.create (m / 4) in
+    for k = 0 to m - 1 do
+      let i = Array.unsafe_get idxs k in
+      let c = Array.unsafe_get col i in
+      let g = Array.unsafe_get map c in
+      if g >= 0 then Array.unsafe_set gid k g
+      else begin
+        let g = Buf.length rep in
+        Array.unsafe_set map c g;
+        Buf.push rep i;
+        Array.unsafe_set gid k g
+      end
+    done;
+    Buf.to_array rep, gid
+  | None ->
+    let cap = Chunkrel.hash_capacity (2 * m) in
+    let mask = cap - 1 in
+    let slots = Array.make cap (-1) in
+    let rep = Buf.create (m / 4 + 8) in
+    let nk = Array.length key_cols in
+    let keys_equal i j =
+      let rec loop k =
+        k >= nk
+        || Array.unsafe_get (Array.unsafe_get key_cols k) i
+           = Array.unsafe_get (Array.unsafe_get key_cols k) j
+           && loop (k + 1)
+      in
+      loop 0
+    in
+    for k = 0 to m - 1 do
+      let i = Array.unsafe_get idxs k in
+      let h = ref (Chunkrel.hash_key key_cols i land mask) in
+      let stop = ref false in
+      while not !stop do
+        let g = Array.unsafe_get slots !h in
+        if g = -1 then begin
+          let g = Buf.length rep in
+          Array.unsafe_set slots !h g;
+          Buf.push rep i;
+          Array.unsafe_set gid k g;
+          stop := true
+        end
+        else if keys_equal i (Buf.get rep g) then begin
+          Array.unsafe_set gid k g;
+          stop := true
+        end
+        else h := (!h + 1) land mask
+      done
+    done;
+    Buf.to_array rep, gid
+
+(* Per-gid aggregate values over the rows in [idxs]. *)
+let aggregate_gids (chunk : Chunkrel.t) schema ~func ~rep ~gid ~idxs =
+  let ngroups = Array.length rep in
+  let m = Array.length idxs in
+  match func with
+  | Count ->
+    let counts = Array.make ngroups 0 in
+    for k = 0 to m - 1 do
+      let g = Array.unsafe_get gid k in
+      Array.unsafe_set counts g (Array.unsafe_get counts g + 1)
+    done;
+    Array.map (fun c -> Value.Real (float_of_int c)) counts
+  | Sum col ->
+    let vcol = chunk.Chunkrel.cols.(Schema.position schema col) in
+    let sums = Array.make ngroups 0. in
+    for k = 0 to m - 1 do
+      let i = Array.unsafe_get idxs k in
+      let v = numeric_exn "sum" (Dict.decode (Array.unsafe_get vcol i)) in
+      let g = Array.unsafe_get gid k in
+      Array.unsafe_set sums g (Array.unsafe_get sums g +. v)
+    done;
+    Array.map (fun s -> Value.Real s) sums
+  | Min col | Max col ->
+    let vcol = chunk.Chunkrel.cols.(Schema.position schema col) in
+    let want = match func with Min _ -> -1 | _ -> 1 in
+    let best = Array.make ngroups (-1) in
+    for k = 0 to m - 1 do
+      let i = Array.unsafe_get idxs k in
+      let g = Array.unsafe_get gid k in
+      let b = Array.unsafe_get best g in
+      if b = -1 then Array.unsafe_set best g i
+      else begin
+        let ci = Array.unsafe_get vcol i and cb = Array.unsafe_get vcol b in
+        if ci <> cb then begin
+          let c = Value.compare (Dict.decode ci) (Dict.decode cb) in
+          if (want < 0 && c < 0) || (want > 0 && c > 0) then
+            Array.unsafe_set best g i
+        end
+      end
+    done;
+    Array.map (fun i -> Dict.decode vcol.(i)) best
+
+let identity_idxs n = Array.init n (fun i -> i)
+
+(* Phase 1 of the parallel path: row indices scattered into [d] disjoint
+   partitions by key hash, merged per partition by blit. *)
+let partition_rows pool key_cols n =
+  let d = Pool.size pool in
+  let per_chunk =
+    Pool.run_chunks pool ~n (fun ~lo ~hi ->
+        let bufs = Array.init d (fun _ -> Buf.create ((hi - lo) / d + 8)) in
+        for i = lo to hi - 1 do
+          Buf.push bufs.(Chunkrel.hash_key key_cols i mod d) i
+        done;
+        bufs)
+  in
+  List.init d (fun j ->
+      let pieces = List.map (fun bufs -> bufs.(j)) per_chunk in
+      let total = List.fold_left (fun a c -> a + Buf.length c) 0 pieces in
+      let dst = Array.make total 0 in
+      let pos = ref 0 in
+      List.iter (fun c -> pos := Buf.blit_into c dst !pos) pieces;
+      dst)
+
+let columnar_partitions ?pool ?par_threshold rel ~key_cols =
+  let chunk = Relation.codes rel in
+  let n = chunk.Chunkrel.nrows in
+  let threshold =
+    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
+  in
+  let pool = match pool with Some p -> p | None -> Pool.default () in
+  if Pool.size pool > 1 && n >= threshold then
+    Some pool, partition_rows pool key_cols n
+  else None, [ identity_idxs n ]
+
+let group_by_cols ?pool ?par_threshold rel ~keys ~func =
+  let schema = Relation.schema rel in
+  let chunk = Relation.codes rel in
+  let key_positions =
+    Array.of_list (List.map (Schema.position schema) keys)
+  in
+  let key_cols = Array.map (fun p -> chunk.Chunkrel.cols.(p)) key_positions in
+  let pool, parts = columnar_partitions ?pool ?par_threshold rel ~key_cols in
+  let job idxs () =
+    let rep, gid = group_rows key_cols idxs in
+    let aggs = aggregate_gids chunk schema ~func ~rep ~gid ~idxs in
+    rep, aggs
+  in
+  let per_part =
+    match pool with
+    | Some pool -> Pool.run_all pool (List.map job parts)
+    | None -> List.map (fun idxs -> job idxs ()) parts
+  in
+  List.concat_map
+    (fun (rep, aggs) ->
+      List.init (Array.length rep) (fun g ->
+          let i = rep.(g) in
+          let key =
+            Tuple.of_array
+              (Array.map (fun col -> Dict.decode col.(i)) key_cols)
+          in
+          key, aggs.(g)))
+    per_part
+
 let group_by ?pool ?par_threshold rel ~keys ~func =
   let compute () =
-    let threshold =
-      match par_threshold with Some v -> v | None -> Pool.par_threshold ()
-    in
-    let pool = match pool with Some p -> p | None -> Pool.default () in
-    if Pool.size pool > 1 && Relation.cardinal rel >= threshold then
-      let key_positions =
-        Array.of_list
-          (List.map (Schema.position (Relation.schema rel)) keys)
-      in
-      group_by_parallel pool rel ~key_positions ~func
-    else begin
-      let schema = Relation.schema rel in
-      let idx = Index.build_on rel keys in
-      let out = ref [] in
-      Index.iter_groups
-        (fun key tuples -> out := (key, eval func schema tuples) :: !out)
-        idx;
-      !out
-    end
+    match Layout.mode () with
+    | Layout.Row -> group_by_rows ?pool ?par_threshold rel ~keys ~func
+    | Layout.Columnar -> group_by_cols ?pool ?par_threshold rel ~keys ~func
   in
   if not (Obs.enabled ()) then compute ()
   else
@@ -137,18 +332,94 @@ let group_by ?pool ?par_threshold rel ~keys ~func =
         Obs.set_attr "groups_out" (Obs.Int (List.length groups));
         groups)
 
-let group_filter ?pool ?par_threshold rel ~keys ~func ~threshold =
-  let compute () =
-    let groups = group_by ?pool ?par_threshold rel ~keys ~func in
-    let out = Relation.create (Schema.restrict (Relation.schema rel) keys) in
-    List.iter
-      (fun (key, v) ->
-        let x = numeric_exn "group_filter" v in
-        if x >= threshold then Relation.add out key)
-      groups;
-    out, List.length groups
+(* Columnar FILTER: group, aggregate, filter by threshold, and gather the
+   surviving representative rows' key codes straight into the output
+   chunk — no tuple is built for keys that fail the support test, and
+   none at all for the survivors either. *)
+let group_filter_cols ?pool ?par_threshold rel ~keys ~func ~threshold =
+  let schema = Relation.schema rel in
+  let chunk = Relation.codes rel in
+  let key_positions =
+    Array.of_list (List.map (Schema.position schema) keys)
   in
-  if not (Obs.enabled ()) then fst (compute ())
+  let key_cols = Array.map (fun p -> chunk.Chunkrel.cols.(p)) key_positions in
+  let grouping () =
+    let pool, parts =
+      columnar_partitions ?pool ?par_threshold rel ~key_cols
+    in
+    let job idxs () =
+      let rep, gid = group_rows key_cols idxs in
+      let aggs = aggregate_gids chunk schema ~func ~rep ~gid ~idxs in
+      rep, aggs
+    in
+    match pool with
+    | Some pool -> Pool.run_all pool (List.map job parts)
+    | None -> List.map (fun idxs -> job idxs ()) parts
+  in
+  (* Keep the nested group-by span (and its attribute values) identical
+     to the row layout's, so profiled runs are layout-insensitive. *)
+  let per_part =
+    if not (Obs.enabled ()) then grouping ()
+    else
+      Obs.with_span "aggregate.group_by"
+        ~attrs:[ "rows_in", Obs.Int (Relation.cardinal rel) ]
+        (fun () ->
+          let per_part = grouping () in
+          Obs.set_attr "groups_out"
+            (Obs.Int
+               (List.fold_left
+                  (fun a (rep, _) -> a + Array.length rep)
+                  0 per_part));
+          per_part)
+  in
+  let candidates =
+    List.fold_left (fun a (rep, _) -> a + Array.length rep) 0 per_part
+  in
+  let kept_bufs =
+    List.map
+      (fun (rep, aggs) ->
+        let buf = Buf.create (Array.length rep) in
+        Array.iteri
+          (fun g i ->
+            if numeric_exn "group_filter" aggs.(g) >= threshold then
+              Buf.push buf i)
+          rep;
+        buf)
+      per_part
+  in
+  let total = List.fold_left (fun a b -> a + Buf.length b) 0 kept_bufs in
+  let kept = Array.make total 0 in
+  let pos = ref 0 in
+  List.iter (fun b -> pos := Buf.blit_into b kept !pos) kept_bufs;
+  let out =
+    Relation.of_chunkrel
+      (Schema.restrict schema keys)
+      {
+        Chunkrel.nrows = total;
+        cols = Chunkrel.gather_cols key_cols kept;
+        rows_cache = None;
+      }
+  in
+  out, candidates
+
+let group_filter_report ?pool ?par_threshold rel ~keys ~func ~threshold =
+  let compute () =
+    match Layout.mode () with
+    | Layout.Columnar ->
+      group_filter_cols ?pool ?par_threshold rel ~keys ~func ~threshold
+    | Layout.Row ->
+      let groups = group_by ?pool ?par_threshold rel ~keys ~func in
+      let out =
+        Relation.create (Schema.restrict (Relation.schema rel) keys)
+      in
+      List.iter
+        (fun (key, v) ->
+          let x = numeric_exn "group_filter" v in
+          if x >= threshold then Relation.add out key)
+        groups;
+      out, List.length groups
+  in
+  if not (Obs.enabled ()) then compute ()
   else
     (* The a-priori view of the FILTER: [candidates] parameter assignments
        enter, [survivors] pass the threshold; [pruning_ratio] is the
@@ -164,4 +435,7 @@ let group_filter ?pool ?par_threshold rel ~keys ~func ~threshold =
           (Obs.Float
              (if candidates = 0 then 1.
               else float_of_int survivors /. float_of_int candidates));
-        out)
+        out, candidates)
+
+let group_filter ?pool ?par_threshold rel ~keys ~func ~threshold =
+  fst (group_filter_report ?pool ?par_threshold rel ~keys ~func ~threshold)

@@ -51,3 +51,16 @@ val group_filter :
   func:func ->
   threshold:float ->
   Relation.t
+
+(** Like {!group_filter}, but also returns the number of candidate
+    groups (the distinct key count before the threshold test — exactly
+    [cardinal (project rel keys)], without the extra projection pass).
+    Plan execution reports this as the a-priori candidate count. *)
+val group_filter_report :
+  ?pool:Qf_exec_pool.Pool.t ->
+  ?par_threshold:int ->
+  Relation.t ->
+  keys:string list ->
+  func:func ->
+  threshold:float ->
+  Relation.t * int

@@ -113,6 +113,15 @@ let reset_index_stats t =
   t.indexes.hits <- 0;
   t.indexes.misses <- 0
 
+(* Per-logical-run attribution: the cache (and its counters) is shared
+   across {!copy}s, so "hits of this run" must be computed as a delta
+   against a mark taken on the same shared cache — resetting would
+   destroy a concurrent run's baseline. *)
+let index_stats_mark = index_stats
+
+let index_stats_since t (h0, m0) =
+  t.indexes.hits - h0, t.indexes.misses - m0
+
 let copy t =
   {
     relations = Hashtbl.copy t.relations;

@@ -42,6 +42,17 @@ val index_stats : t -> int * int
 
 val reset_index_stats : t -> unit
 
+(** Per-run attribution over the shared cache: the counters are shared
+    between a catalog and its {!copy}s, so cumulative {!index_stats}
+    conflates runs.  Take a {!index_stats_mark} before a logical run and
+    read the run's own hits/misses with {!index_stats_since} — no reset,
+    so concurrent runs keep their baselines. *)
+val index_stats_mark : t -> int * int
+
+(** [index_stats_since t mark] — [(hits, misses)] accumulated since
+    [mark] was taken. *)
+val index_stats_since : t -> int * int -> int * int
+
 (** A shallow copy: the new catalog shares relations but registering in one
     does not affect the other.  Plan execution uses this to add temporary
     [ok] relations without polluting the base catalog.  The index cache

@@ -7,9 +7,34 @@
     was built against and rebuilds when stale.
 
     A built index is immutable, so concurrent lookups from several
-    domains are safe; the parallel join kernels rely on this. *)
+    domains are safe; the parallel join kernels rely on this.
+
+    An index serves two faces over the same snapshot: the tuple-keyed
+    group table (the {!lookup}/{!iter_groups} API below) and the
+    {!code_index} — a radix/bucket-chained structure over the columnar
+    code arrays that the columnar kernels probe without allocating.  Per
+    {!Layout.mode} one face is built eagerly at {!build}; the other is
+    derived lazily from the captured snapshot on first demand. *)
 
 type t
+
+(** The code-side face: [heads.(h land mask)] starts a chain through
+    [next] of the rows whose key codes hash to [h] (hash =
+    {!Chunkrel.hash_key} over [key_cols], equivalently
+    {!Chunkrel.hash_codes} of the key-code array in position order);
+    [-1] terminates.  [key_cols] are the indexed columns of [chunk] in
+    {!positions} order. *)
+type code_index = {
+  heads : int array;
+  next : int array;
+  mask : int;
+  key_cols : int array array;
+  chunk : Chunkrel.t;
+}
+
+(** The code-side face, built on first demand when the index was built
+    in row mode. *)
+val code_index : t -> code_index
 
 (** [build rel positions] indexes [rel] on the columns at [positions]. *)
 val build : Relation.t -> int list -> t

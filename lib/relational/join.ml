@@ -1,5 +1,6 @@
 module Pool = Qf_exec_pool.Pool
 module Obs = Qf_obs.Obs
+module Buf = Chunkrel.Buf
 
 (* Span wrapper shared by the three join kinds: probe/build sizes up
    front, output size on completion.  The disabled path costs one atomic
@@ -70,24 +71,105 @@ let threshold_of = function
   | Some v -> v
   | None -> Pool.par_threshold ()
 
+(* {1 Columnar probe machinery}
+
+   Both kinds of probe walk the build side's bucket chains comparing raw
+   key codes; no tuple is ever materialized.  Over set-semantics inputs
+   the outputs below are automatically duplicate-free:
+
+   - equi output rows are [a]-row ++ residual([b]-row); two matches with
+     the same [a] row come from distinct [b] rows agreeing on every join
+     column, which therefore differ in some residual column;
+   - semi/anti outputs are subsets of [a]'s rows.
+
+   So the merges are bare [Array.blit]s of per-chunk index buffers, with
+   no output-side hash set at all. *)
+
+(* Per-probe-row chain walk: calls [emit j] for every matching build row. *)
+let probe_chain (ci : Index.code_index) akey_cols i emit =
+  let h = ref 17 in
+  let nk = Array.length akey_cols in
+  for k = 0 to nk - 1 do
+    h := Chunkrel.mix !h (Array.unsafe_get (Array.unsafe_get akey_cols k) i)
+  done;
+  let j = ref (Array.unsafe_get ci.Index.heads (!h land ci.Index.mask)) in
+  while !j >= 0 do
+    let bj = !j in
+    let rec eq k =
+      k >= nk
+      || Array.unsafe_get (Array.unsafe_get akey_cols k) i
+         = Array.unsafe_get (Array.unsafe_get ci.Index.key_cols k) bj
+         && eq (k + 1)
+    in
+    if eq 0 then emit bj;
+    j := Array.unsafe_get ci.Index.next bj
+  done
+
+let chain_mem ci akey_cols i =
+  let found = ref false in
+  (* Cheap early exit is not worth a second walk implementation: chains
+     are short under a well-sized radix table. *)
+  probe_chain ci akey_cols i (fun _ -> found := true);
+  !found
+
+let merge_bufs chunks =
+  let total = List.fold_left (fun a c -> a + Buf.length c) 0 chunks in
+  let dst = Array.make total 0 in
+  let pos = ref 0 in
+  List.iter (fun c -> pos := Buf.blit_into c dst !pos) chunks;
+  dst
+
 (* {1 Equi-join}
 
-   Build one hash index on [b], then probe with [a]'s tuples.  The
-   parallel path partitions the probe side into per-domain chunks, each
-   of which emits an ordered output list; the merge dedupes through the
-   result relation as usual.  The index is immutable during probing, so
-   concurrent lookups are safe. *)
+   Build one radix/bucket-chained index on [b]'s key codes, then probe
+   with [a]'s key codes.  The parallel path partitions the probe side
+   into per-domain chunks, each emitting an interleaved (probe row,
+   build row) pair buffer; buffers merge by blit and the output columns
+   are gathered once. *)
 
-let equi ?pool ?par_threshold a b pairs =
-  observed "join.equi" a b @@ fun () ->
-  let pos_a, pos_b = positions_of_pairs a b pairs in
-  let residual = residual_columns a b pairs in
+let equi_cols ?pool ?par_threshold a b pos_a pos_b residual out_schema =
+  let ca = Relation.codes a in
+  let ci = Index.code_index (Index.build b (Array.to_list pos_b)) in
+  let akey_cols = Array.map (fun p -> ca.Chunkrel.cols.(p)) pos_a in
   let sb = Relation.schema b in
   let residual_pos =
     Array.of_list (List.map (fun (c, _) -> Schema.position sb c) residual)
   in
-  let out_schema =
-    Schema.of_list (Schema.columns (Relation.schema a) @ List.map snd residual)
+  let n = ca.Chunkrel.nrows in
+  let pairs =
+    match use_pool pool n (threshold_of par_threshold) with
+    | None ->
+      let buf = Buf.create (2 * n) in
+      for i = 0 to n - 1 do
+        probe_chain ci akey_cols i (fun j -> Buf.push2 buf i j)
+      done;
+      Buf.to_array buf
+    | Some pool ->
+      Pool.run_chunks pool ~n (fun ~lo ~hi ->
+          let buf = Buf.create (2 * (hi - lo)) in
+          for i = lo to hi - 1 do
+            probe_chain ci akey_cols i (fun j -> Buf.push2 buf i j)
+          done;
+          buf)
+      |> merge_bufs
+  in
+  let m = Array.length pairs / 2 in
+  let pa = Array.init m (fun k -> pairs.(2 * k)) in
+  let pb = Array.init m (fun k -> pairs.((2 * k) + 1)) in
+  let out_cols =
+    Array.append
+      (Chunkrel.gather_cols ca.Chunkrel.cols pa)
+      (Chunkrel.gather_cols
+         (Array.map (fun p -> ci.Index.chunk.Chunkrel.cols.(p)) residual_pos)
+         pb)
+  in
+  Relation.of_chunkrel out_schema
+    { Chunkrel.nrows = m; cols = out_cols; rows_cache = None }
+
+let equi_rows ?pool ?par_threshold a b pos_a pos_b residual out_schema =
+  let sb = Relation.schema b in
+  let residual_pos =
+    Array.of_list (List.map (fun (c, _) -> Schema.position sb c) residual)
   in
   let out = Relation.create out_schema in
   let idx = Index.build b (Array.to_list pos_b) in
@@ -112,14 +194,57 @@ let equi ?pool ?par_threshold a b pairs =
     List.iter (List.iter (Relation.add out)) produced);
   out
 
+let equi ?pool ?par_threshold a b pairs =
+  observed "join.equi" a b @@ fun () ->
+  let pos_a, pos_b = positions_of_pairs a b pairs in
+  let residual = residual_columns a b pairs in
+  let out_schema =
+    Schema.of_list (Schema.columns (Relation.schema a) @ List.map snd residual)
+  in
+  match Layout.mode () with
+  | Layout.Columnar ->
+    equi_cols ?pool ?par_threshold a b pos_a pos_b residual out_schema
+  | Layout.Row ->
+    equi_rows ?pool ?par_threshold a b pos_a pos_b residual out_schema
+
 (* {1 Semi/anti joins} — membership filters over the probe side. *)
+
+let filter_by_presence_cols ?pool ?par_threshold ~keep_matching a b pos_a pos_b
+    =
+  let ca = Relation.codes a in
+  let ci = Index.code_index (Index.build b (Array.to_list pos_b)) in
+  let akey_cols = Array.map (fun p -> ca.Chunkrel.cols.(p)) pos_a in
+  let n = ca.Chunkrel.nrows in
+  let kept =
+    match use_pool pool n (threshold_of par_threshold) with
+    | None ->
+      let buf = Buf.create n in
+      for i = 0 to n - 1 do
+        if chain_mem ci akey_cols i = keep_matching then Buf.push buf i
+      done;
+      Buf.to_array buf
+    | Some pool ->
+      Pool.run_chunks pool ~n (fun ~lo ~hi ->
+          let buf = Buf.create (hi - lo) in
+          for i = lo to hi - 1 do
+            if chain_mem ci akey_cols i = keep_matching then Buf.push buf i
+          done;
+          buf)
+      |> merge_bufs
+  in
+  Relation.of_chunkrel (Relation.schema a) (Chunkrel.gather ca kept)
 
 let filter_by_presence ?pool ?par_threshold ~keep_matching a b pairs =
   let pos_a, pos_b = positions_of_pairs a b pairs in
-  let idx = Index.build b (Array.to_list pos_b) in
-  Relation.select ?pool ?par_threshold a (fun ta ->
-      let found = Index.mem idx (Tuple.project pos_a ta) in
-      if keep_matching then found else not found)
+  match Layout.mode () with
+  | Layout.Columnar ->
+    filter_by_presence_cols ?pool ?par_threshold ~keep_matching a b pos_a
+      pos_b
+  | Layout.Row ->
+    let idx = Index.build b (Array.to_list pos_b) in
+    Relation.select ?pool ?par_threshold a (fun ta ->
+        let found = Index.mem idx (Tuple.project pos_a ta) in
+        if keep_matching then found else not found)
 
 let semi ?pool ?par_threshold a b pairs =
   observed "join.semi" a b @@ fun () ->

@@ -1,9 +1,26 @@
 module Pool = Qf_exec_pool.Pool
 
+(* A relation is an abstract handle over two interchangeable physical
+   layouts:
+
+   - [table]: the row layout — a hash set of {!Tuple.t}s (the only layout
+     that supports insertion and O(1) membership);
+   - [chunk]: the columnar layout — a {!Chunkrel.t} of dictionary-encoded
+     code columns, tagged with the relation [version] it snapshots.
+
+   At least one layout is always present.  [codes] and [ensure_table]
+   materialize the missing one lazily; kernels producing columnar output
+   construct chunk-only relations through [of_chunkrel] and never build
+   the row table unless someone asks for it.  Mutation ([add]) goes
+   through the table and bumps [version], staling any cached chunk. *)
+
 type t = {
   id : int;
   schema : Schema.t;
-  tuples : unit Tuple.Table.t;
+  mutable table : unit Tuple.Table.t option;
+  mutable chunk : Chunkrel.t option;
+  mutable chunk_version : int;
+  mutable card : int;
   mutable version : int;
 }
 
@@ -16,7 +33,25 @@ let create schema =
   {
     id = Atomic.fetch_and_add next_id 1;
     schema;
-    tuples = Tuple.Table.create 64;
+    table = Some (Tuple.Table.create 64);
+    chunk = None;
+    chunk_version = 0;
+    card = 0;
+    version = 0;
+  }
+
+(* Internal constructor for kernel outputs whose rows are known distinct
+   (selections, joins over set inputs, deduplicated projections). *)
+let of_chunkrel schema (chunk : Chunkrel.t) =
+  if Array.length chunk.Chunkrel.cols <> Schema.arity schema then
+    invalid_arg "Relation.of_chunkrel: arity mismatch";
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    schema;
+    table = None;
+    chunk = Some chunk;
+    chunk_version = 0;
+    card = chunk.Chunkrel.nrows;
     version = 0;
   }
 
@@ -24,44 +59,99 @@ let id t = t.id
 let version t = t.version
 let schema t = t.schema
 let arity t = Schema.arity t.schema
-let cardinal t = Tuple.Table.length t.tuples
+let cardinal t = t.card
 let is_empty t = cardinal t = 0
+
+let ensure_table t =
+  match t.table with
+  | Some tb -> tb
+  | None ->
+    let chunk = Option.get t.chunk in
+    let tb = Tuple.Table.create (max 64 chunk.Chunkrel.nrows) in
+    Array.iter (fun tup -> Tuple.Table.add tb tup ()) (Chunkrel.rows chunk);
+    t.table <- Some tb;
+    tb
+
+(* The columnar snapshot of the current version, built from the row table
+   on demand and cached until the next mutation. *)
+let codes t =
+  match t.chunk with
+  | Some chunk when t.chunk_version = t.version -> chunk
+  | _ ->
+    let tb = ensure_table t in
+    let n = Tuple.Table.length tb in
+    let tuples = Array.make n (Tuple.of_array [||]) in
+    let i = ref 0 in
+    Tuple.Table.iter
+      (fun tup () ->
+        tuples.(!i) <- tup;
+        incr i)
+      tb;
+    let chunk = Chunkrel.of_tuples ~arity:(arity t) tuples in
+    t.chunk <- Some chunk;
+    t.chunk_version <- t.version;
+    chunk
+
+let prepare t =
+  match Layout.mode () with
+  | Layout.Columnar -> ignore (codes t)
+  | Layout.Row -> ignore (ensure_table t)
 
 let add t tup =
   if Tuple.arity tup <> arity t then
     invalid_arg
       (Printf.sprintf "Relation.add: arity mismatch (%d vs %d)"
          (Tuple.arity tup) (arity t));
-  if not (Tuple.Table.mem t.tuples tup) then begin
-    Tuple.Table.add t.tuples tup ();
+  let tb = ensure_table t in
+  if not (Tuple.Table.mem tb tup) then begin
+    Tuple.Table.add tb tup ();
+    t.card <- t.card + 1;
     t.version <- t.version + 1
   end
 
 (* Internal: insert a tuple known to be absent and of the right arity
    (parallel kernels dedupe per hash partition before merging). *)
 let unsafe_add_new t tup =
-  Tuple.Table.add t.tuples tup ();
+  let tb = ensure_table t in
+  Tuple.Table.add tb tup ();
+  t.card <- t.card + 1;
   t.version <- t.version + 1
 
-let mem t tup = Tuple.Table.mem t.tuples tup
-let iter f t = Tuple.Table.iter (fun tup () -> f tup) t.tuples
-let fold f t init = Tuple.Table.fold (fun tup () acc -> f tup acc) t.tuples init
+let mem t tup = Tuple.Table.mem (ensure_table t) tup
+
+let iter f t =
+  match t.table with
+  | Some tb -> Tuple.Table.iter (fun tup () -> f tup) tb
+  | None -> Array.iter f (Chunkrel.rows (Option.get t.chunk))
+
+let fold f t init =
+  match t.table with
+  | Some tb -> Tuple.Table.fold (fun tup () acc -> f tup acc) tb init
+  | None ->
+    Array.fold_left
+      (fun acc tup -> f tup acc)
+      init
+      (Chunkrel.rows (Option.get t.chunk))
+
 let to_list t = fold List.cons t []
 let to_sorted_list t = List.sort Tuple.compare (to_list t)
 
 let to_array t =
-  let n = cardinal t in
-  if n = 0 then [||]
-  else begin
-    let dst = Array.make n (Tuple.of_array [||]) in
-    let i = ref 0 in
-    iter
-      (fun tup ->
-        dst.(!i) <- tup;
-        incr i)
-      t;
-    dst
-  end
+  match t.table with
+  | None -> Array.copy (Chunkrel.rows (Option.get t.chunk))
+  | Some tb ->
+    let n = Tuple.Table.length tb in
+    if n = 0 then [||]
+    else begin
+      let dst = Array.make n (Tuple.of_array [||]) in
+      let i = ref 0 in
+      Tuple.Table.iter
+        (fun tup () ->
+          dst.(!i) <- tup;
+          incr i)
+        tb;
+      dst
+    end
 
 let of_list schema tuples =
   let rel = create schema in
@@ -71,25 +161,32 @@ let of_list schema tuples =
 let of_values columns rows =
   of_list (Schema.of_list columns) (List.map Tuple.of_list rows)
 
-(* {1 Parallel scan kernels}
+(* {1 Scan kernels}
 
-   [select] and [project] partition the tuple array across the pool; each
-   chunk produces an ordered list of outputs and the caller merges them.
-   Selection preserves distinctness, so the merge can insert without
-   membership probes; projection must still dedupe.  Both fall back to
-   the plain sequential scan below [Pool.par_threshold] or on a pool of
-   size 1, so results are identical sets either way. *)
+   Two implementations each, chosen by {!Layout.mode}:
+
+   - row: iterate the tuple table (parallel path: chunked tuple array,
+     per-chunk output lists merged through the result's hash set);
+   - columnar: a vectorized loop over the decoded row array that collects
+     surviving row *indices* into pre-sized int buffers, merges them by
+     [Array.blit], and gathers the output columns once.  Selection
+     preserves distinctness, so no output hashing happens at all;
+     projection deduplicates over code rows.
+
+   Both fall back to sequential below [Pool.par_threshold] or on a pool
+   of size 1, and all four paths produce the same result set. *)
 
 let use_pool pool n threshold =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   if Pool.size pool > 1 && n >= threshold then Some pool else None
 
-let select ?pool ?par_threshold t pred =
+let threshold_of = function
+  | Some v -> v
+  | None -> Pool.par_threshold ()
+
+let select_rows ?pool ?par_threshold t pred =
   let out = create t.schema in
-  let threshold =
-    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
-  in
-  (match use_pool pool (cardinal t) threshold with
+  (match use_pool pool (cardinal t) (threshold_of par_threshold) with
   | None -> iter (fun tup -> if pred tup then unsafe_add_new out tup) t
   | Some pool ->
     let tuples = to_array t in
@@ -105,15 +202,45 @@ let select ?pool ?par_threshold t pred =
     List.iter (List.iter (unsafe_add_new out)) kept);
   out
 
-let project ?pool ?par_threshold t cols =
-  let positions =
-    Array.of_list (List.map (Schema.position t.schema) cols)
+(* Merge per-chunk index buffers into one pre-sized array. *)
+let merge_index_chunks chunks =
+  let total = List.fold_left (fun a c -> a + Chunkrel.Buf.length c) 0 chunks in
+  let dst = Array.make total 0 in
+  let pos = ref 0 in
+  List.iter (fun c -> pos := Chunkrel.Buf.blit_into c dst !pos) chunks;
+  dst
+
+let select_cols ?pool ?par_threshold t pred =
+  let chunk = codes t in
+  let rows = Chunkrel.rows chunk in
+  let n = chunk.Chunkrel.nrows in
+  let kept =
+    match use_pool pool n (threshold_of par_threshold) with
+    | None ->
+      let buf = Chunkrel.Buf.create n in
+      for i = 0 to n - 1 do
+        if pred rows.(i) then Chunkrel.Buf.push buf i
+      done;
+      Chunkrel.Buf.to_array buf
+    | Some pool ->
+      Pool.run_chunks pool ~n (fun ~lo ~hi ->
+          let buf = Chunkrel.Buf.create (hi - lo) in
+          for i = lo to hi - 1 do
+            if pred rows.(i) then Chunkrel.Buf.push buf i
+          done;
+          buf)
+      |> merge_index_chunks
   in
+  of_chunkrel t.schema (Chunkrel.gather chunk kept)
+
+let select ?pool ?par_threshold t pred =
+  match Layout.mode () with
+  | Layout.Row -> select_rows ?pool ?par_threshold t pred
+  | Layout.Columnar -> select_cols ?pool ?par_threshold t pred
+
+let project_rows ?pool ?par_threshold t cols positions =
   let out = create (Schema.restrict t.schema cols) in
-  let threshold =
-    match par_threshold with Some v -> v | None -> Pool.par_threshold ()
-  in
-  (match use_pool pool (cardinal t) threshold with
+  (match use_pool pool (cardinal t) (threshold_of par_threshold) with
   | None -> iter (fun tup -> add out (Tuple.project positions tup)) t
   | Some pool ->
     let tuples = to_array t in
@@ -127,6 +254,84 @@ let project ?pool ?par_threshold t cols =
     in
     List.iter (List.iter (add out)) projected);
   out
+
+(* Parallel columnar dedup: scatter row indices into [d] partitions by
+   row hash (phase 1, chunked), then dedup each partition independently
+   (distinct rows land in exactly one partition). *)
+let distinct_rows_par pool pcols n =
+  let d = Pool.size pool in
+  let buckets_per_chunk =
+    Pool.run_chunks pool ~n (fun ~lo ~hi ->
+        let bufs =
+          Array.init d (fun _ -> Chunkrel.Buf.create ((hi - lo) / d + 8))
+        in
+        for i = lo to hi - 1 do
+          Chunkrel.Buf.push bufs.(Chunkrel.hash_key pcols i mod d) i
+        done;
+        bufs)
+  in
+  let kept_per_partition =
+    Pool.run_all pool
+      (List.init d (fun j () ->
+           let candidates =
+             merge_index_chunks
+               (List.map (fun bufs -> bufs.(j)) buckets_per_chunk)
+           in
+           (* Dedup among the candidate indices with open addressing. *)
+           let m = Array.length candidates in
+           let cap = Chunkrel.hash_capacity (2 * m) in
+           let mask = cap - 1 in
+           let slots = Array.make cap (-1) in
+           let buf = Chunkrel.Buf.create m in
+           let ncols = Array.length pcols in
+           let rows_equal i j =
+             let rec loop c =
+               c >= ncols
+               || pcols.(c).(i) = pcols.(c).(j) && loop (c + 1)
+             in
+             loop 0
+           in
+           for k = 0 to m - 1 do
+             let i = candidates.(k) in
+             let h = ref (Chunkrel.hash_key pcols i land mask) in
+             let stop = ref false in
+             while not !stop do
+               let j = slots.(!h) in
+               if j = -1 then begin
+                 slots.(!h) <- i;
+                 Chunkrel.Buf.push buf i;
+                 stop := true
+               end
+               else if rows_equal i j then stop := true
+               else h := (!h + 1) land mask
+             done
+           done;
+           buf))
+  in
+  merge_index_chunks kept_per_partition
+
+let project_cols ?pool ?par_threshold t cols positions =
+  let chunk = codes t in
+  let n = chunk.Chunkrel.nrows in
+  let pcols = Array.map (fun p -> chunk.Chunkrel.cols.(p)) positions in
+  let kept =
+    match use_pool pool n (threshold_of par_threshold) with
+    | None -> Chunkrel.distinct_rows pcols n
+    | Some pool -> distinct_rows_par pool pcols n
+  in
+  of_chunkrel
+    (Schema.restrict t.schema cols)
+    {
+      Chunkrel.nrows = Array.length kept;
+      cols = Chunkrel.gather_cols pcols kept;
+      rows_cache = None;
+    }
+
+let project ?pool ?par_threshold t cols =
+  let positions = Array.of_list (List.map (Schema.position t.schema) cols) in
+  match Layout.mode () with
+  | Layout.Row -> project_rows ?pool ?par_threshold t cols positions
+  | Layout.Columnar -> project_cols ?pool ?par_threshold t cols positions
 
 let union a b =
   if arity a <> arity b then invalid_arg "Relation.union: arity mismatch";
@@ -143,17 +348,25 @@ let diff a b =
 
 let column_values t col =
   let pos = Schema.position t.schema col in
-  let seen = Hashtbl.create 64 in
-  fold
-    (fun tup acc ->
-      let v = Tuple.get tup pos in
-      let key = Value.hash v, v in
-      if Hashtbl.mem seen key then acc
-      else begin
-        Hashtbl.add seen key ();
-        v :: acc
-      end)
-    t []
+  match Layout.mode () with
+  | Layout.Columnar ->
+    (* Distinct codes of the column, decoded once each. *)
+    let chunk = codes t in
+    let col = chunk.Chunkrel.cols.(pos) in
+    let kept = Chunkrel.distinct_rows [| col |] chunk.Chunkrel.nrows in
+    Array.fold_left (fun acc i -> Dict.decode col.(i) :: acc) [] kept
+  | Layout.Row ->
+    let seen = Hashtbl.create 64 in
+    fold
+      (fun tup acc ->
+        let v = Tuple.get tup pos in
+        let key = Value.hash v, v in
+        if Hashtbl.mem seen key then acc
+        else begin
+          Hashtbl.add seen key ();
+          v :: acc
+        end)
+      t []
 
 let equal a b =
   arity a = arity b

@@ -3,12 +3,34 @@
     A relation is a schema plus a set of tuples of matching arity.  Insertion
     of a duplicate tuple is a no-op, so every relation is duplicate-free — a
     requirement of the query-flocks formalism (the paper's claims fail under
-    bag semantics). *)
+    bag semantics).
+
+    A relation is an abstract handle over two physical layouts — the row
+    table of {!Tuple.t}s and the columnar {!Chunkrel.t} of
+    dictionary-encoded code arrays — materialized lazily on demand (see
+    {!Layout}).  Both layouts describe the same tuple set; the kernels
+    pick their path per {!Layout.mode}. *)
 
 type t
 
 (** An empty, mutable relation with the given schema. *)
 val create : Schema.t -> t
+
+(** Wrap a columnar chunk whose rows are {e known distinct} (kernel
+    outputs: selections, joins over set inputs, deduplicated
+    projections).  The row table is built lazily if ever needed.  Raises
+    [Invalid_argument] on an arity mismatch with the schema. *)
+val of_chunkrel : Schema.t -> Chunkrel.t -> t
+
+(** The columnar snapshot of the current version, built from the row
+    table on first demand and cached until the next mutation.  The chunk
+    is immutable; parallel kernels read it from worker domains. *)
+val codes : t -> Chunkrel.t
+
+(** Force materialization of the layout preferred by the current
+    {!Layout.mode} (load boundaries call this so the first kernel does
+    not pay the conversion mid-query). *)
+val prepare : t -> unit
 
 (** A process-unique identity, assigned at {!create}.  Together with
     {!version} it keys the catalog's index cache. *)

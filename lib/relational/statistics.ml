@@ -8,7 +8,8 @@ type t = {
   columns : (string * column_stats) list;
 }
 
-let of_relation rel =
+(* Row layout: fold every tuple through per-column value tables. *)
+let of_relation_rows rel =
   let schema = Relation.schema rel in
   let arity = Schema.arity schema in
   let tables = Array.init arity (fun _ -> Hashtbl.create 64) in
@@ -35,6 +36,39 @@ let of_relation rel =
       (Schema.columns schema)
   in
   { cardinality = Relation.cardinal rel; columns }
+
+(* Columnar layout: dictionary codes are already canonical value ids, so
+   per-column counting is an int-keyed histogram — no value hashing, no
+   (hash, value) key pairs. *)
+let of_relation_cols rel =
+  let schema = Relation.schema rel in
+  let chunk = Relation.codes rel in
+  let n = chunk.Chunkrel.nrows in
+  let columns =
+    List.mapi
+      (fun i col ->
+        let codes = chunk.Chunkrel.cols.(i) in
+        let counts : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        for r = 0 to n - 1 do
+          let c = Array.unsafe_get codes r in
+          match Hashtbl.find_opt counts c with
+          | Some k -> Hashtbl.replace counts c (k + 1)
+          | None -> Hashtbl.add counts c 1
+        done;
+        let frequencies =
+          Hashtbl.fold (fun _ k acc -> k :: acc) counts []
+          |> List.sort (fun a b -> Int.compare b a)
+          |> Array.of_list
+        in
+        col, { distinct = Hashtbl.length counts; frequencies })
+      (Schema.columns schema)
+  in
+  { cardinality = Relation.cardinal rel; columns }
+
+let of_relation rel =
+  match Layout.mode () with
+  | Layout.Row -> of_relation_rows rel
+  | Layout.Columnar -> of_relation_cols rel
 
 let cardinality t = t.cardinality
 

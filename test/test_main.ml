@@ -26,6 +26,7 @@ let () =
       "golden", Test_golden.suite;
       "lint", Test_lint.suite;
       "parallel", Test_parallel.suite;
+      "kernels", Test_kernels.suite;
       "properties", Test_props.suite;
       "differential", Test_differential.suite;
       "obs", Test_obs.suite;
