@@ -135,8 +135,18 @@ let deny_warnings_arg =
     & info [ "deny-warnings" ]
         ~doc:"Exit non-zero on warnings too, not only on errors.")
 
+let absint_arg =
+  Arg.(
+    value & flag
+    & info [ "absint" ]
+        ~doc:
+          "Run the abstract interpreter over the program: certify dead \
+           subgoals, provably empty flocks, and SUM monotonicity against \
+           the loaded catalog's statistics (QF07x).  Requires $(b,--data) \
+           or $(b,--database).")
+
 let lint_cmd =
-  let run path data db format deny =
+  let run path data db format deny absint =
     let module Diag = Qf_analysis.Diagnostic in
     let text =
       match read_file path with
@@ -150,7 +160,29 @@ let lint_cmd =
       | [], None -> None
       | _ -> Some (or_die (load_catalog ?db data))
     in
-    let diags = Qf_analysis.Lint.lint ?catalog text in
+    let absint_diags =
+      if not absint then []
+      else
+        match catalog with
+        | None ->
+          prerr_endline
+            "flockc: lint --absint needs catalog statistics; pass --data or \
+             --database";
+          exit 2
+        | Some cat -> (
+          match Parse.program_located text with
+          | Error _ -> []
+          | Ok lp ->
+            (* Seed the domain from view outputs too, when views parse. *)
+            let cat =
+              match Parse.program text with
+              | Ok p -> (
+                match prepare cat p with Ok c -> c | Error _ -> cat)
+              | Error _ -> cat
+            in
+            Qf_analysis.Absint.check_program ~catalog:cat lp)
+    in
+    let diags = Diag.sort (Qf_analysis.Lint.lint ?catalog text @ absint_diags) in
     (match format with
     | `Text -> print_string (Diag.render_text ~file:path diags)
     | `Json -> print_string (Diag.render_json ~file:path diags));
@@ -158,7 +190,7 @@ let lint_cmd =
        default a-priori plan and run the independent Sec. 4.2 verifier over
        it (the auditor inside Plan.make sees it too). *)
     if not (Diag.has_errors diags) then begin
-      Qf_core.Plan.set_auditor Qf_analysis.Plan_check.verify;
+      Qf_analysis.Validate.install ();
       match Parse.program text with
       | Error _ -> ()
       | Ok { Parse.flock; _ } -> (
@@ -182,11 +214,13 @@ let lint_cmd =
          "Statically analyze a flock program: safety (Sec. 3.3), schema \
           consistency, redundant subgoals (Sec. 3.1), arithmetic \
           contradictions, join hygiene, and FILTER sanity, as stable \
-          QF0xx diagnostics with source spans.  Exit status: 0 clean, 1 \
-          findings, 2 unreadable input, 3 internal plan-legality failure.")
+          QF0xx diagnostics with source spans.  With $(b,--absint), also \
+          run abstract-interpretation bound certification (QF07x).  Exit \
+          status: 0 clean, 1 findings, 2 unreadable input, 3 internal \
+          plan-legality failure.")
     Term.(
       const run $ flock_file $ data_arg $ db_arg $ lint_format_arg
-      $ deny_warnings_arg)
+      $ deny_warnings_arg $ absint_arg)
 
 (* {1 candidates} *)
 
@@ -242,7 +276,8 @@ let explain_cmd =
     let program = or_die (load_program path) in
     let flock = program.Parse.flock in
     let catalog = or_die (prepare (or_die (load_catalog ?db data)) program) in
-    let choices = Optimizer.enumerate catalog flock in
+    let clamp = Qf_analysis.Absint.clamps_of_plan catalog in
+    let choices = Optimizer.enumerate ~clamp catalog flock in
     let profile = profile || json in
     if not json then begin
       Format.printf "%d costed plans (cheapest first):@.@."
@@ -264,7 +299,8 @@ let explain_cmd =
         prerr_endline "flockc: explain --profile: no plan to profile";
         exit 1
       | best :: _ ->
-        let p = Explain.profile catalog best.Optimizer.plan in
+        let clamps = clamp best.Optimizer.plan in
+        let p = Explain.profile ~clamps catalog best.Optimizer.plan in
         if json then print_string (Explain.profile_json ~redact_timings:redact p)
         else begin
           Format.printf "@.";

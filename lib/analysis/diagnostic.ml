@@ -22,6 +22,10 @@ type code =
   | QF060  (** filter references a non-head column *)
   | QF061  (** non-monotone filter defeats a-priori pruning *)
   | QF063  (** view mentions a parameter *)
+  | QF070  (** arithmetic subgoal unsatisfiable under certified ranges *)
+  | QF071  (** positive subgoal can never match (dead subgoal) *)
+  | QF072  (** flock certified empty *)
+  | QF073  (** SUM monotonicity assumption unverified *)
 
 type t = {
   code : code;
@@ -50,6 +54,10 @@ let code_to_string = function
   | QF060 -> "QF060"
   | QF061 -> "QF061"
   | QF063 -> "QF063"
+  | QF070 -> "QF070"
+  | QF071 -> "QF071"
+  | QF072 -> "QF072"
+  | QF073 -> "QF073"
 
 (* Which section of the paper motivates each check. *)
 let code_section = function
@@ -65,6 +73,8 @@ let code_section = function
   | QF060 -> "2.2"
   | QF061 -> "4.1"
   | QF063 -> "2.3"
+  | QF070 | QF071 | QF072 -> "4.3"
+  | QF073 -> "5"
 
 let code_summary = function
   | QF001 -> "syntax error"
@@ -86,10 +96,15 @@ let code_summary = function
   | QF060 -> "filter references a non-head column"
   | QF061 -> "non-monotone filter defeats a-priori pruning"
   | QF063 -> "view mentions a parameter"
+  | QF070 -> "arithmetic subgoal unsatisfiable under certified ranges"
+  | QF071 -> "subgoal can never match the stored relation"
+  | QF072 -> "flock certified empty against this catalog"
+  | QF073 -> "SUM monotonicity assumption unverified"
 
 let all_codes =
   [ QF001; QF002; QF010; QF011; QF012; QF013; QF014; QF020; QF021; QF022;
-    QF030; QF040; QF041; QF042; QF050; QF051; QF060; QF061; QF063 ]
+    QF030; QF040; QF041; QF042; QF050; QF051; QF060; QF061; QF063;
+    QF070; QF071; QF072; QF073 ]
 
 let severity_to_string = function
   | Error -> "error"

@@ -10,7 +10,8 @@
     - [QF03x] — redundancy (containment, Sec. 3.1);
     - [QF04x] — arithmetic-subgoal reasoning;
     - [QF05x] — join-shape hygiene;
-    - [QF06x] — FILTER-clause sanity. *)
+    - [QF06x] — FILTER-clause sanity;
+    - [QF07x] — abstract-interpretation certificates ({!Absint}). *)
 
 type severity = Error | Warning | Info
 
@@ -34,6 +35,10 @@ type code =
   | QF060  (** filter aggregates a column the head does not produce *)
   | QF061  (** non-monotone filter: a-priori pruning unavailable (Sec. 4.1) *)
   | QF063  (** view rule mentions a parameter *)
+  | QF070  (** arithmetic subgoal unsatisfiable under certified ranges *)
+  | QF071  (** positive subgoal can never match the stored relation *)
+  | QF072  (** flock certified empty against this catalog *)
+  | QF073  (** SUM monotonicity assumption unverified by certified ranges *)
 
 type t = {
   code : code;

@@ -1,0 +1,199 @@
+module Ast = Qf_datalog.Ast
+module Containment = Qf_datalog.Containment
+module Pretty = Qf_datalog.Pretty
+module Flock = Qf_core.Flock
+module Filter = Qf_core.Filter
+module Plan = Qf_core.Plan
+
+let error fmt = Format.kasprintf (fun s -> Error s) fmt
+let ( let* ) = Result.bind
+
+(* {1 Minimization (Sec. 3.1)} *)
+
+let minimization ~original ~minimized =
+  if not (Containment.contains ~sup:original ~sub:minimized) then
+    error "minimized rule is not contained in the original"
+  else if not (Containment.contains ~sup:minimized ~sub:original) then
+    error "original rule is not contained in the minimized rule"
+  else Ok ()
+
+(* {1 Plan obligations (Sec. 4.2)}
+
+   The semantic content of the paper's plan-generation rule, proved with
+   containment mappings instead of re-checked syntactically:
+
+   - {e upper bound}: flock rule i ⊆ step rule i stripped of ok-subgoals.
+     Every group the flock tabulates, the step tabulates (projected onto
+     the step's parameters), so with a monotone filter the step's output
+     over-approximates the surviving parameter tuples.  An ok-subgoal met
+     while stripping refers to an earlier step, possibly under a parameter
+     renaming; the renamed instance is only an upper bound if the renamed
+     step query is itself an upper-bound query for the flock, which is the
+     same obligation one level down — hence the recursion, with renamings
+     composed by applying them to the referenced step's rules.
+
+   - {e completeness}: final step rule i ⊆ flock rule i, so the lowering
+     dropped no subgoal and the plan's final tabulation cannot exceed the
+     flock's.  Together with the upper-bound obligations on the final
+     step's ok-subgoals this gives equality of the surviving tuples: a
+     parameter tuple that passes the flock's filter satisfies every
+     ok-subgoal (upper bound + monotonicity), so its groups coincide.
+
+   The recursion is well-founded: ok-subgoals may only reference earlier
+   steps, and we resolve them against the strictly-earlier prefix. *)
+
+let is_param = function Ast.Param _ -> true | Ast.Var _ | Ast.Const _ -> false
+
+let split_oks earlier (r : Ast.rule) =
+  List.partition_map
+    (fun lit ->
+      match lit with
+      | Ast.Pos a
+        when List.exists
+               (fun (s : Plan.step) -> String.equal s.Plan.name a.Ast.pred)
+               earlier ->
+        Right a
+      | Ast.Pos _ | Ast.Neg _ | Ast.Cmp _ -> Left lit)
+    r.body
+
+(* Check that [step_rule] (a rule of some step's query, already carrying
+   any outer renaming) is an upper bound for [orig] (the corresponding
+   flock rule): strip its ok-subgoals, prove orig ⊆ core by containment
+   mapping, and recurse into each stripped ok-subgoal. *)
+let rec check_upper ~flock_rules ~earlier ~context (step_rule : Ast.rule)
+    (orig : Ast.rule) =
+  let core, oks = split_oks earlier step_rule in
+  let core_rule = { step_rule with Ast.body = core } in
+  let* () =
+    if core = [] then
+      error "%s: no subgoal left after stripping ok-subgoals" context
+    else if Containment.contains ~sup:core_rule ~sub:orig then Ok ()
+    else
+      error
+        "%s: the flock's rule is not contained in the step's rule with \
+         ok-subgoals stripped — the step does not over-approximate the \
+         flock"
+        context
+  in
+  let rec each = function
+    | [] -> Ok ()
+    | ok :: rest ->
+      let* () = check_ok_subgoal ~flock_rules ~earlier ~context ok in
+      each rest
+  in
+  each oks
+
+(* Obligation for one ok-subgoal occurrence [ok_s(args)]: resolve the
+   step, require distinct parameter arguments, and prove the renamed step
+   query is an upper bound for the flock, rule by rule, against the
+   strictly-earlier step prefix. *)
+and check_ok_subgoal ~flock_rules ~earlier ~context (a : Ast.atom) =
+  match
+    List.find_opt
+      (fun (s : Plan.step) -> String.equal s.Plan.name a.pred)
+      earlier
+  with
+  | None -> error "%s: %s does not reference an earlier step" context a.pred
+  | Some s ->
+    let args =
+      List.filter_map
+        (function Ast.Param p -> Some p | Ast.Var _ | Ast.Const _ -> None)
+        a.args
+    in
+    if
+      (not (List.for_all is_param a.args))
+      || List.length args <> List.length s.Plan.params
+      || List.length (List.sort_uniq String.compare args) <> List.length args
+    then
+      error "%s: ok-subgoal %s does not carry %d distinct parameters" context
+        a.pred
+        (List.length s.Plan.params)
+    else
+      let renaming = List.combine s.Plan.params args in
+      let prior =
+        (* A step may only reference strictly earlier steps. *)
+        let rec before acc = function
+          | [] -> List.rev acc
+          | (e : Plan.step) :: rest ->
+            if String.equal e.Plan.name s.Plan.name then List.rev acc
+            else before (e :: acc) rest
+        in
+        before [] earlier
+      in
+      check_step_upper ~flock_rules ~earlier:prior
+        ~context:(Printf.sprintf "%s -> %s" context a.pred)
+        ~renaming s.Plan.query
+
+and check_step_upper ~flock_rules ~earlier ~context ~renaming query =
+  let renamed = List.map (Ast.rename_params renaming) query in
+  let rec per_rule i = function
+    | [], [] -> Ok ()
+    | sr :: srs, orig :: origs ->
+      let* () =
+        check_upper ~flock_rules ~earlier
+          ~context:(Printf.sprintf "%s (rule %d)" context i)
+          sr orig
+      in
+      per_rule (i + 1) (srs, origs)
+    | _ -> error "%s: rule count differs from the flock's" context
+  in
+  per_rule 0 (renamed, flock_rules)
+
+let identity_renaming (s : Plan.step) =
+  List.map (fun p -> p, p) s.Plan.params
+
+let check ~(flock : Flock.t) ~steps ~(final : Plan.step) =
+  let flock_rules = flock.Flock.query in
+  let* () =
+    if steps = [] || Filter.is_monotone flock.Flock.filter then Ok ()
+    else
+      error
+        "auxiliary steps with a non-monotone filter: no upper-bound \
+         argument applies, pruning is unsound"
+  in
+  (* Upper-bound obligations, one per step (auxiliary and final), with
+     each step checked against the strictly-earlier prefix. *)
+  let rec per_step earlier = function
+    | [] -> Ok earlier
+    | (s : Plan.step) :: rest ->
+      let* () =
+        check_step_upper ~flock_rules ~earlier
+          ~context:(Printf.sprintf "step %s" s.Plan.name)
+          ~renaming:(identity_renaming s) s.Plan.query
+      in
+      per_step (earlier @ [ s ]) rest
+  in
+  let* earlier = per_step [] steps in
+  let* () =
+    check_step_upper ~flock_rules ~earlier
+      ~context:(Printf.sprintf "final step %s" final.Plan.name)
+      ~renaming:(identity_renaming final) final.Plan.query
+  in
+  (* Completeness: the final step deletes nothing — its rule i is
+     contained in flock rule i (the ok-subgoals only shrink it
+     further). *)
+  let rec completeness i = function
+    | [], [] -> Ok ()
+    | (fr : Ast.rule) :: frs, (orig : Ast.rule) :: origs ->
+      if Containment.contains ~sup:orig ~sub:fr then
+        completeness (i + 1) (frs, origs)
+      else
+        error
+          "final step rule %d is not contained in the flock's rule %d: the \
+           lowering dropped a subgoal (plan result may exceed the flock's)"
+          i i
+    | _ -> error "final step: rule count differs from the flock's"
+  in
+  completeness 0 (final.Plan.query, flock_rules)
+
+let verify (plan : Plan.t) =
+  check ~flock:plan.Plan.flock ~steps:plan.Plan.steps ~final:plan.Plan.final
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Plan.add_auditor ~name:"plan_check" Plan_check.verify;
+    Plan.add_auditor ~name:"validate" verify
+  end

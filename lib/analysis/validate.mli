@@ -1,0 +1,54 @@
+(** Translation validation for optimizer rewrites.
+
+    Every rewrite the system performs — CQ minimization (Sec. 3.1),
+    subquery extraction into FILTER steps (Sec. 4.2), and the final-step
+    lowering that stitches [ok]-subgoals back into the full query — is
+    turned into proof obligations discharged with the
+    {!Qf_datalog.Containment} engine (Chandra–Merlin containment
+    mappings).  Unlike {!Plan_check}, which re-implements the paper's
+    {e syntactic} plan-generation rule, this module proves the {e semantic}
+    facts the rule exists to guarantee:
+
+    + {e upper bound}: for every step and every rule [i], the flock's rule
+      [i] is contained in the step's rule [i] with its [ok]-subgoals
+      stripped — so each step tabulates a superset of the flock's groups
+      and (with a monotone filter) its output over-approximates the
+      surviving parameter tuples.  [ok]-subgoals met along the way
+      generate the same obligation recursively under the composed
+      parameter renaming, which is what proves the levelwise plans'
+      symmetry-renamed references (footnote 3);
+    + {e completeness}: the final step's rule [i] is contained in the
+      flock's rule [i] — lowering dropped nothing, so the plan's result
+      can't exceed the flock's;
+    + {e pruning soundness}: plans with auxiliary steps carry a monotone
+      filter (checked independently of {!Qf_core.Plan.make}).
+
+    Together these imply plan ≡ flock by the paper's Sec. 4.2 argument.
+    The validator is installed as a [Plan.make] auditor next to
+    {!Plan_check} (see {!install}), so every plan the optimizer or the
+    levelwise generator builds is proved, not trusted. *)
+
+(** Prove [original ≡ minimized] (containment both ways).  Discharges the
+    Sec. 3.1 minimization rewrite; used by the linter before it reports a
+    subgoal as redundant. *)
+val minimization :
+  original:Qf_datalog.Ast.rule ->
+  minimized:Qf_datalog.Ast.rule ->
+  (unit, string) result
+
+(** Validate a plan given as raw components, without going through
+    [Plan.make] — the entry point for mutation tests that must be able to
+    present deliberately corrupted rewrites. *)
+val check :
+  flock:Qf_core.Flock.t ->
+  steps:Qf_core.Plan.step list ->
+  final:Qf_core.Plan.step ->
+  (unit, string) result
+
+(** The auditor: {!check} applied to a constructed plan. *)
+val verify : Qf_core.Plan.t -> (unit, string) result
+
+(** Install both auditors — {!Plan_check.verify} under the name
+    ["plan_check"] and {!verify} under ["validate"] — on
+    {!Qf_core.Plan.make}.  Idempotent. *)
+val install : unit -> unit

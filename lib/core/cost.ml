@@ -289,12 +289,31 @@ let reduce_env_for_final env ~threshold (plan : Plan.t) =
         env (Ast.positive_atoms r))
     env plan.final.query
 
-let estimate_plan env (plan : Plan.t) =
+(* Apply a certified (groups, rows) upper bound to a step's estimated
+   output: survivors cannot exceed the certified survivor bound, and the
+   per-column distinct counts cannot exceed the clamped row count.  The
+   clamp only ever tightens — [min(estimate, bound)] — so an absent or
+   infinite bound leaves the estimate untouched. *)
+let clamp_out clamps name (out : vstats) =
+  match List.assoc_opt name clamps with
+  | None -> out
+  | Some (_groups_bound, rows_bound) ->
+    if out.rows <= rows_bound then out
+    else
+      let rows = rows_bound in
+      {
+        out with
+        rows;
+        distinct = Array.map (fun d -> Float.min d (Float.max 1. rows)) out.distinct;
+      }
+
+let estimate_plan ?(clamps = []) env (plan : Plan.t) =
   let threshold = plan.flock.filter.threshold in
   let env, work =
     List.fold_left
       (fun (env, acc) s ->
         let w, out = estimate_step env ~threshold s in
+        let out = clamp_out clamps s.Plan.name out in
         extend env s.Plan.name out, acc +. w)
       (env, 0.) plan.steps
   in
@@ -314,15 +333,21 @@ type step_estimate = {
   est_rows : float;
 }
 
-let plan_step_estimates env (plan : Plan.t) =
+let plan_step_estimates ?(clamps = []) env (plan : Plan.t) =
   let threshold = plan.flock.filter.threshold in
   let one env (s : Plan.step) =
     let w, out = estimate_step env ~threshold s in
+    let out = clamp_out clamps s.Plan.name out in
+    let groups_bound =
+      match List.assoc_opt s.Plan.name clamps with
+      | Some (g, _) -> g
+      | None -> infinity
+    in
     ( out,
       {
         step = s.name;
         est_work = w;
-        est_groups = estimate_groups env s.query s.params;
+        est_groups = Float.min groups_bound (estimate_groups env s.query s.params);
         est_rows = out.rows;
       } )
   in

@@ -59,8 +59,12 @@ val estimate_groups : env -> Qf_datalog.Ast.query -> string list -> float
 val estimate_step : env -> threshold:float -> Plan.step -> float * vstats
 
 (** Total estimated work of a plan (auxiliary steps plus final step, with
-    each step's output statistics fed into later estimates). *)
-val estimate_plan : env -> Plan.t -> float
+    each step's output statistics fed into later estimates).  [clamps]
+    maps step names to certified [(groups, rows)] upper bounds (from
+    [Qf_analysis.Absint.clamps_of_plan]); each step's estimated output is
+    clamped to [min(estimate, bound)] before feeding later steps. *)
+val estimate_plan :
+  ?clamps:(string * (float * float)) list -> env -> Plan.t -> float
 
 (** {1 Per-step estimates for the profiler} *)
 
@@ -74,6 +78,12 @@ type step_estimate = {
 (** One estimate per step, auxiliary steps first and the final step last,
     with each step's estimated output statistics feeding later steps —
     the estimated half of [flockc explain --profile]'s
-    estimated-vs-observed report.  Raises [Failure] when [env] lacks a
-    referenced predicate. *)
-val plan_step_estimates : env -> Plan.t -> step_estimate list
+    estimated-vs-observed report.  [clamps] as in {!estimate_plan}:
+    certified bounds cap [est_groups]/[est_rows] ([min(estimate, bound)])
+    and the output statistics fed forward.  Raises [Failure] when [env]
+    lacks a referenced predicate. *)
+val plan_step_estimates :
+  ?clamps:(string * (float * float)) list ->
+  env ->
+  Plan.t ->
+  step_estimate list

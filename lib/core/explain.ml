@@ -42,6 +42,8 @@ type step_profile = {
   seconds : float;
   est_rows : float option;
   est_groups : float option;
+  bound_rows : float option;
+  bound_groups : float option;
   reused_from : string option;
 }
 
@@ -53,7 +55,7 @@ type profile = {
   counters : (string * int) list;
 }
 
-let profile ?options catalog (plan : Plan.t) =
+let profile ?options ?(clamps = []) catalog (plan : Plan.t) =
   let was = Obs.enabled () in
   Obs.set_enabled true;
   Obs.reset ();
@@ -65,7 +67,7 @@ let profile ?options catalog (plan : Plan.t) =
       let total_seconds = Obs.now () -. t0 in
       let obs = Obs.report () in
       let estimates =
-        match Cost.plan_step_estimates (Cost.of_catalog catalog) plan with
+        match Cost.plan_step_estimates ~clamps (Cost.of_catalog catalog) plan with
         | ests -> ests
         | exception Failure _ -> []
       in
@@ -78,6 +80,7 @@ let profile ?options catalog (plan : Plan.t) =
         List.map2
           (fun (s : Plan.step) (r : Plan_exec.step_report) ->
             let est = est_for s.name in
+            let bounds = List.assoc_opt s.name clamps in
             {
               name = s.name;
               params = s.params;
@@ -88,6 +91,8 @@ let profile ?options catalog (plan : Plan.t) =
               est_rows = Option.map (fun (e : Cost.step_estimate) -> e.Cost.est_rows) est;
               est_groups =
                 Option.map (fun (e : Cost.step_estimate) -> e.Cost.est_groups) est;
+              bound_rows = Option.map snd bounds;
+              bound_groups = Option.map fst bounds;
               reused_from = r.Plan_exec.reused_from;
             })
           (Plan.all_steps plan) report.Plan_exec.steps
@@ -112,7 +117,11 @@ let profile ?options catalog (plan : Plan.t) =
 let profile_text ?(redact_timings = false) (p : profile) =
   let buf = Buffer.create 1024 in
   let time s = if redact_timings then "-" else Printf.sprintf "%.6f" s in
-  let est = function None -> "-" | Some f -> Printf.sprintf "%.1f" f in
+  let est = function
+    | None -> "-"
+    | Some f ->
+      if Float.is_finite f then Printf.sprintf "%.1f" f else "inf"
+  in
   Buffer.add_string buf (Printf.sprintf "plan: %s\n\n" p.summary);
   let name_width =
     List.fold_left
@@ -125,9 +134,20 @@ let profile_text ?(redact_timings = false) (p : profile) =
         max acc n)
       (String.length "step") p.steps
   in
+  (* Certified-bound columns appear only when bounds were supplied, so
+     unclamped profiles keep the original layout. *)
+  let have_bounds =
+    List.exists
+      (fun (s : step_profile) ->
+        s.bound_rows <> None || s.bound_groups <> None)
+      p.steps
+  in
+  let bound_cols a b = if have_bounds then Printf.sprintf " %10s %10s" a b else "" in
   Buffer.add_string buf
-    (Printf.sprintf "%-*s %10s %10s %10s %10s %10s %12s\n" name_width "step"
-       "est_grps" "est_rows" "rows_in" "groups" "rows_out" "time_s");
+    (Printf.sprintf "%-*s %10s %10s%s %10s %10s %10s %12s\n" name_width "step"
+       "est_grps" "est_rows"
+       (bound_cols "cert_grps" "cert_rows")
+       "rows_in" "groups" "rows_out" "time_s");
   List.iter
     (fun (s : step_profile) ->
       let shown =
@@ -136,9 +156,10 @@ let profile_text ?(redact_timings = false) (p : profile) =
         | None -> s.name
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-*s %10s %10s %10d %10d %10d %12s\n" name_width
-           shown (est s.est_groups) (est s.est_rows) s.rows_in s.groups
-           s.rows_out (time s.seconds)))
+        (Printf.sprintf "%-*s %10s %10s%s %10d %10d %10d %12s\n" name_width
+           shown (est s.est_groups) (est s.est_rows)
+           (bound_cols (est s.bound_groups) (est s.bound_rows))
+           s.rows_in s.groups s.rows_out (time s.seconds)))
     p.steps;
   Buffer.add_string buf
     (Printf.sprintf "\nresult rows: %d\ntotal time_s: %s\n" p.result_rows
@@ -167,7 +188,8 @@ let json_escape s =
   Buffer.contents buf
 
 let json_float f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if not (Float.is_finite f) then "\"inf\""
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6g" f
 
 let profile_json ?(redact_timings = false) (p : profile) =
@@ -182,16 +204,25 @@ let profile_json ?(redact_timings = false) (p : profile) =
   Buffer.add_string buf "  \"steps\": [\n";
   List.iteri
     (fun i (s : step_profile) ->
+      let bounds =
+        (* Only clamped profiles carry the certified-bound fields, so
+           unclamped JSON stays byte-identical to the pre-bound format. *)
+        match s.bound_groups, s.bound_rows with
+        | None, None -> ""
+        | g, r ->
+          Printf.sprintf ", \"bound_groups\": %s, \"bound_rows\": %s"
+            (opt_float g) (opt_float r)
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": \"%s\", \"params\": [%s], \"est_groups\": %s, \
-            \"est_rows\": %s, \"rows_in\": %d, \"groups\": %d, \"rows_out\": \
+            \"est_rows\": %s%s, \"rows_in\": %d, \"groups\": %d, \"rows_out\": \
             %d, \"reused_from\": %s, \"seconds\": %s}%s\n"
            (json_escape s.name)
            (String.concat ", "
               (List.map (fun q -> "\"" ^ json_escape q ^ "\"") s.params))
-           (opt_float s.est_groups) (opt_float s.est_rows) s.rows_in s.groups
-           s.rows_out
+           (opt_float s.est_groups) (opt_float s.est_rows) bounds s.rows_in
+           s.groups s.rows_out
            (match s.reused_from with
            | None -> "null"
            | Some t -> "\"" ^ json_escape t ^ "\"")

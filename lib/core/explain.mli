@@ -30,8 +30,10 @@ type step_profile = {
   groups : int;  (** candidate parameter assignments *)
   rows_out : int;  (** assignments surviving the filter *)
   seconds : float;
-  est_rows : float option;  (** cost model's predicted [rows_out] *)
-  est_groups : float option;  (** cost model's predicted [groups] *)
+  est_rows : float option;  (** cost model's predicted [rows_out], clamped *)
+  est_groups : float option;  (** cost model's predicted [groups], clamped *)
+  bound_rows : float option;  (** certified upper bound on [rows_out] *)
+  bound_groups : float option;  (** certified upper bound on [groups] *)
   reused_from : string option;  (** symmetric-step alias, not recomputed *)
 }
 
@@ -47,9 +49,17 @@ type profile = {
 (** Run [plan] with {!Qf_obs.Obs} enabled (restoring the previous enabled
     state afterwards) and collect per-step observed-vs-estimated numbers.
     Estimates are omitted when the cost model lacks statistics for a
-    referenced predicate. *)
+    referenced predicate.  [clamps] maps step names to certified
+    [(groups, rows)] bounds (from [Qf_analysis.Absint.clamps_of_plan]):
+    estimates are clamped to [min(estimate, bound)] and the bounds are
+    reported alongside them; without [clamps] the profile is identical to
+    the unclamped format (no bound columns/fields). *)
 val profile :
-  ?options:Plan_exec.options -> Qf_relational.Catalog.t -> Plan.t -> profile
+  ?options:Plan_exec.options ->
+  ?clamps:(string * (float * float)) list ->
+  Qf_relational.Catalog.t ->
+  Plan.t ->
+  profile
 
 (** Deterministic renderers.  With [redact_timings] every duration prints
     as ["-"] (text) or [null] (JSON), making the output byte-stable for

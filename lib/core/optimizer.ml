@@ -16,7 +16,7 @@ let rec subsets = function
     let without = subsets rest in
     without @ List.map (fun s -> x :: s) without
 
-let enumerate ?param_sets catalog flock =
+let enumerate ?param_sets ?(clamp = fun _ -> []) catalog flock =
   let sets =
     match param_sets with Some s -> s | None -> default_param_sets flock
   in
@@ -41,14 +41,19 @@ let enumerate ?param_sets catalog flock =
             Apriori_gen.param_set_plan ~selection flock ~param_sets:chosen
           with
           | Ok plan ->
-            Some { plan; param_sets = chosen; cost = Cost.estimate_plan env plan }
+            Some
+              {
+                plan;
+                param_sets = chosen;
+                cost = Cost.estimate_plan ~clamps:(clamp plan) env plan;
+              }
           | Error _ -> None)
         (subsets viable)
     in
     List.sort (fun a b -> Float.compare a.cost b.cost) choices
   end
 
-let optimize ?param_sets catalog flock =
-  match enumerate ?param_sets catalog flock with
+let optimize ?param_sets ?clamp catalog flock =
+  match enumerate ?param_sets ?clamp catalog flock with
   | [] -> Plan.trivial flock
   | best :: _ -> best.plan

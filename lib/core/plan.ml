@@ -157,16 +157,26 @@ let check_step (flock : Flock.t) earlier (s : step) ~is_final =
   in
   check_all 0 (flock.query, s.query)
 
-(* An externally installed second opinion on every plan this module
-   admits.  [qf_analysis]'s independent Sec. 4.2 legality verifier is
-   installed here by the test suite (and by [flockc lint]'s plan
-   cross-check), so every plan the optimizer or the levelwise generator
-   produces is re-checked by code that shares nothing with the
-   classification logic above — a sanitizer for plan generation. *)
-let auditor : (t -> (unit, string) result) ref = ref (fun _ -> Ok ())
+(* Externally installed second opinions on every plan this module admits.
+   [qf_analysis] installs two: the independent Sec. 4.2 legality verifier
+   ([Plan_check.verify]) and the containment-based translation validator
+   ([Validate.verify]).  Both run on every plan the optimizer or the
+   levelwise generator produces, so plan generation is re-checked by code
+   that shares nothing with the classification logic above — a sanitizer
+   for plan generation.  Auditors are named so each can be installed,
+   replaced, or removed independently. *)
+let auditors : (string * (t -> (unit, string) result)) list ref = ref []
 
-let set_auditor f = auditor := f
-let clear_auditor () = auditor := fun _ -> Ok ()
+let add_auditor ~name f =
+  auditors :=
+    List.filter (fun (n, _) -> not (String.equal n name)) !auditors
+    @ [ name, f ]
+
+let remove_auditor ~name =
+  auditors := List.filter (fun (n, _) -> not (String.equal n name)) !auditors
+
+let set_auditor f = add_auditor ~name:"adhoc" f
+let clear_auditor () = auditors := []
 
 let make flock ~steps ~final =
   let* () =
@@ -187,12 +197,14 @@ let make flock ~steps ~final =
   in
   let* () = check [] steps in
   let t = { flock; steps; final } in
-  let* () =
-    match !auditor t with
-    | Ok () -> Ok ()
-    | Error e -> error "plan auditor rejected the plan: %s" e
+  let rec audit = function
+    | [] -> Ok t
+    | (name, f) :: rest -> (
+      match f t with
+      | Ok () -> audit rest
+      | Error e -> error "plan auditor %s rejected the plan: %s" name e)
   in
-  Ok t
+  audit !auditors
 
 let make_exn flock ~steps ~final =
   match make flock ~steps ~final with

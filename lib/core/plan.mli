@@ -54,16 +54,25 @@ val trivial : Flock.t -> t
 
 (** {1 Plan auditing}
 
-    An installed auditor is consulted at the end of every successful
-    {!make}: if it rejects, [make] returns its error (and [make_exn]
-    raises).  The intended auditor is [Qf_analysis.Plan_check.verify], an
-    independent re-implementation of the Sec. 4.2 legality rule; installing
-    it in a test binary turns every plan construction into a cross-checked
-    one, like a sanitizer for plan generation. *)
+    Installed auditors are consulted, in installation order, at the end of
+    every successful {!make}: if one rejects, [make] returns its error
+    prefixed with the auditor's name (and [make_exn] raises).  The
+    intended auditors are [Qf_analysis.Plan_check.verify] (an independent
+    re-implementation of the Sec. 4.2 legality rule) and
+    [Qf_analysis.Validate.verify] (a containment-based translation
+    validator); installing them turns every plan construction into a
+    cross-checked one, like a sanitizer for plan generation. *)
 
+(** Install (or replace) the auditor registered under [name]. *)
+val add_auditor : name:string -> (t -> (unit, string) result) -> unit
+
+(** Remove the auditor registered under [name] (no-op when absent). *)
+val remove_auditor : name:string -> unit
+
+(** [add_auditor ~name:"adhoc"] — kept for single-auditor callers. *)
 val set_auditor : (t -> (unit, string) result) -> unit
 
-(** Restore the default (accept-everything) auditor. *)
+(** Remove every installed auditor. *)
 val clear_auditor : unit -> unit
 
 (** All steps in execution order (auxiliary then final). *)

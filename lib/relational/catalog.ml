@@ -29,7 +29,12 @@ let max_cache_entries = 1024
 
 type t = {
   relations : (string, Relation.t) Hashtbl.t;
-  stats_cache : (string, Statistics.t) Hashtbl.t;
+  stats_cache : (string, int * int * Statistics.t) Hashtbl.t;
+      (* (relation id, relation version, stats) — same version-counter
+         discipline as the index cache: an entry computed against an older
+         version (or a different relation re-bound under the same name) is
+         a miss, so in-place {!Relation.add} mutation can never leak stale
+         profiles into the analyzer, even through {!copy}s. *)
   indexes : index_cache;
 }
 
@@ -65,11 +70,15 @@ let mem t name = Hashtbl.mem t.relations name
 let names t = Hashtbl.fold (fun name _ acc -> name :: acc) t.relations []
 
 let stats t name =
+  let rel = find t name in
+  let id = Relation.id rel and version = Relation.version rel in
   match Hashtbl.find_opt t.stats_cache name with
-  | Some s -> s
-  | None ->
-    let s = Statistics.of_relation (find t name) in
-    Hashtbl.replace t.stats_cache name s;
+  | Some (cached_id, cached_version, s)
+    when cached_id = id && cached_version = version ->
+    s
+  | Some _ | None ->
+    let s = Statistics.of_relation rel in
+    Hashtbl.replace t.stats_cache name (id, version, s);
     s
 
 let index t rel positions =

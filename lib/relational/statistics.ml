@@ -1,6 +1,15 @@
 type column_stats = {
   distinct : int;
   frequencies : int array;  (** per-value tuple counts, descending *)
+  min_value : Value.t option;  (** None iff the relation is empty *)
+  max_value : Value.t option;
+}
+
+type column_profile = {
+  ndv : int;
+  min_value : Value.t option;
+  max_value : Value.t option;
+  max_frequency : int;  (** tuples carried by the most frequent value; 0 if empty *)
 }
 
 type t = {
@@ -8,11 +17,17 @@ type t = {
   columns : (string * column_stats) list;
 }
 
+let minmax_fold (lo, hi) v =
+  let lo = match lo with None -> Some v | Some l -> if Value.compare v l < 0 then Some v else lo in
+  let hi = match hi with None -> Some v | Some h -> if Value.compare v h > 0 then Some v else hi in
+  lo, hi
+
 (* Row layout: fold every tuple through per-column value tables. *)
 let of_relation_rows rel =
   let schema = Relation.schema rel in
   let arity = Schema.arity schema in
   let tables = Array.init arity (fun _ -> Hashtbl.create 64) in
+  let ranges = Array.make arity (None, None) in
   Relation.iter
     (fun tup ->
       for i = 0 to Tuple.arity tup - 1 do
@@ -20,7 +35,8 @@ let of_relation_rows rel =
         let table = tables.(i) in
         let key = Value.hash v, v in
         let n = match Hashtbl.find_opt table key with Some n -> n | None -> 0 in
-        Hashtbl.replace table key (n + 1)
+        Hashtbl.replace table key (n + 1);
+        ranges.(i) <- minmax_fold ranges.(i) v
       done)
     rel;
   let columns =
@@ -32,14 +48,16 @@ let of_relation_rows rel =
           |> List.sort (fun a b -> Int.compare b a)
           |> Array.of_list
         in
-        col, { distinct = Hashtbl.length table; frequencies })
+        let min_value, max_value = ranges.(i) in
+        col, { distinct = Hashtbl.length table; frequencies; min_value; max_value })
       (Schema.columns schema)
   in
   { cardinality = Relation.cardinal rel; columns }
 
 (* Columnar layout: dictionary codes are already canonical value ids, so
    per-column counting is an int-keyed histogram — no value hashing, no
-   (hash, value) key pairs. *)
+   (hash, value) key pairs.  Min/max still compare decoded values (the
+   code order is assignment order, not the value order). *)
 let of_relation_cols rel =
   let schema = Relation.schema rel in
   let chunk = Relation.codes rel in
@@ -60,7 +78,13 @@ let of_relation_cols rel =
           |> List.sort (fun a b -> Int.compare b a)
           |> Array.of_list
         in
-        col, { distinct = Hashtbl.length counts; frequencies })
+        let range =
+          Hashtbl.fold
+            (fun code _ acc -> minmax_fold acc (Dict.decode code))
+            counts (None, None)
+        in
+        let min_value, max_value = range in
+        col, { distinct = Hashtbl.length counts; frequencies; min_value; max_value })
       (Schema.columns schema)
   in
   { cardinality = Relation.cardinal rel; columns }
@@ -78,6 +102,15 @@ let column t col =
   | None -> raise Not_found
 
 let distinct t col = (column t col).distinct
+
+let column_profile t col =
+  let c = column t col in
+  {
+    ndv = c.distinct;
+    min_value = c.min_value;
+    max_value = c.max_value;
+    max_frequency = (if Array.length c.frequencies = 0 then 0 else c.frequencies.(0));
+  }
 
 let tuples_per_value t col =
   let d = distinct t col in

@@ -6,6 +6,17 @@
 
 type t
 
+(** Summary of one column, as consumed by the abstract interpreter
+    ({!Qf_analysis.Absint}): value range, distinct count, and the tuple
+    count of the most frequent value. *)
+type column_profile = {
+  ndv : int;
+  min_value : Value.t option;  (** [None] iff the relation is empty *)
+  max_value : Value.t option;
+  max_frequency : int;
+      (** tuples carried by the most frequent value; 0 if empty *)
+}
+
 (** Scan a relation and collect statistics. *)
 val of_relation : Relation.t -> t
 
@@ -40,5 +51,9 @@ val count_at_least : t -> string -> int -> int
 (** The frequency distribution of a column: per-value tuple counts, sorted
     descending.  Exposed for diagnostics and workload analysis. *)
 val frequencies : t -> string -> int array
+
+(** Range/ndv/max-frequency profile of the named column.  Raises
+    [Not_found] on an unknown column. *)
+val column_profile : t -> string -> column_profile
 
 val pp : Format.formatter -> t -> unit

@@ -342,14 +342,15 @@ let test_verifier_rejection_agreement () =
   | Error _ -> ()
 
 let test_auditor_is_installed () =
-  (* test_main installs Plan_check.verify as the Plan.make auditor, so
-     every plan built anywhere in this binary is double-checked.  Verify
-     the hook is live by installing a rejecting auditor and restoring. *)
+  (* test_main installs Plan_check.verify and Validate.verify as Plan.make
+     auditors, so every plan built anywhere in this binary is
+     double-checked.  Verify the hook is live by installing a rejecting
+     auditor under its own name and removing it again. *)
   let flock = medical_flock 20 in
   let final = (Plan.trivial flock).Plan.final in
-  Plan.set_auditor (fun _ -> Error "probe");
+  Plan.add_auditor ~name:"probe" (fun _ -> Error "probe");
   let r = Plan.make flock ~steps:[] ~final in
-  Plan.set_auditor Plan_check.verify;
+  Plan.remove_auditor ~name:"probe";
   let contains haystack needle =
     let nh = String.length haystack and nn = String.length needle in
     let rec go i =

@@ -2,8 +2,9 @@
 let () =
   (* Sanitizer: every plan built anywhere in this binary -- by the static
      optimizer, the levelwise generator, or a test by hand -- is
-     cross-checked against the independent Sec. 4.2 legality verifier. *)
-  Qf_core.Plan.set_auditor Qf_analysis.Plan_check.verify;
+     cross-checked against the independent Sec. 4.2 legality verifier AND
+     the containment-based translation validator. *)
+  Qf_analysis.Validate.install ();
   Alcotest.run "query_flocks"
     [
       "value", Test_value.suite;
@@ -25,6 +26,7 @@ let () =
       "sequence", Test_sequence.suite;
       "golden", Test_golden.suite;
       "lint", Test_lint.suite;
+      "absint", Test_absint.suite;
       "parallel", Test_parallel.suite;
       "kernels", Test_kernels.suite;
       "properties", Test_props.suite;
