@@ -485,13 +485,29 @@ let e10 () =
       row "%-44s %10.3f@." label t)
     [
       ( "neither (plain binding-passing joins)",
-        { Plan_exec.semijoin_reduction = false; symmetric_reuse = false } );
+        {
+          Plan_exec.semijoin_reduction = false;
+          symmetric_reuse = false;
+          memoize = false;
+        } );
       ( "symmetric reuse only",
-        { Plan_exec.semijoin_reduction = false; symmetric_reuse = true } );
+        {
+          Plan_exec.semijoin_reduction = false;
+          symmetric_reuse = true;
+          memoize = false;
+        } );
       ( "semijoin reduction only",
-        { Plan_exec.semijoin_reduction = true; symmetric_reuse = false } );
-      ( "both (default)",
-        { Plan_exec.semijoin_reduction = true; symmetric_reuse = true } );
+        {
+          Plan_exec.semijoin_reduction = true;
+          symmetric_reuse = false;
+          memoize = false;
+        } );
+      ( "both (no memo)",
+        {
+          Plan_exec.semijoin_reduction = true;
+          symmetric_reuse = true;
+          memoize = false;
+        } );
     ];
   let _, t_direct = time3 (fun () -> Direct.run catalog flock) in
   row "%-44s %10.3f@." "direct (no plan at all)" t_direct
@@ -1304,6 +1320,207 @@ let e15 () =
     row "%-26s WARNING: clamping did not strictly reduce the median@." "";
   if !json then e15_write_json !e15_entries ~median_plain ~median_clamped
 
+(* {1 E16 — sideways information passing and the cross-level subplan memo} *)
+
+type e16_entry = {
+  e16_config : string;
+  e16_best_s : float;
+  e16_speedup : float;
+  e16_tabulated : int;
+  e16_sip_pruned : int;
+  e16_memo_hits : int;
+}
+
+let e16_json_file = "BENCH_sip.json"
+
+let e16_write_json entries ~pruned_ratio =
+  let oc = open_out e16_json_file in
+  let field e =
+    Printf.sprintf
+      {|    { "config": %S, "best_s": %.6f, "speedup": %.2f, "tabulated_rows": %d, "sip_pruned": %d, "memo_hits": %d }|}
+      e.e16_config e.e16_best_s e.e16_speedup e.e16_tabulated e.e16_sip_pruned
+      e.e16_memo_hits
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E16\",\n\
+    \  \"quick\": %b,\n\
+    \  \"clock\": \"wall\",\n\
+    \  \"workload\": \"levelwise basket chain k=2..4\",\n\
+    \  \"rows_pruned_ratio\": %.4f,\n\
+    \  \"entries\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    !quick pruned_ratio
+    (String.concat ",\n" (List.map field entries));
+  close_out oc;
+  row "wrote %s (%d entries)@." e16_json_file (List.length entries)
+
+let e16 () =
+  header "E16"
+    "sideways information passing + cross-level memo — levelwise chain k=2..4";
+  let support = 18 in
+  let catalog =
+    Qf_workload.Market.catalog
+      {
+        Qf_workload.Market.n_baskets = (if !quick then 300 else 1000);
+        n_items = 400;
+        avg_basket_size = 8;
+        zipf_exponent = 0.9;
+        seed = 16;
+      }
+  in
+  let plans =
+    List.map
+      (fun k -> snd (Apriori_gen.levelwise_basket ~pred:"baskets" ~k ~support))
+      [ 2; 3; 4 ]
+  in
+  (* Three configurations of the same chain.  "off" is the pre-SIP executor
+     (symmetry reuse stays on in all three — it predates this ablation);
+     "sjr" adds the semijoin reducers; "full" adds the cross-level memo,
+     whose hits cascade because level k-1's final query is α-equivalent to
+     one of level k's auxiliary steps.  The memo is cleared before every
+     sample, so "full" measures the intra-chain cascade, not a warm cache
+     left over from a previous round. *)
+  let configs =
+    [
+      ( "off",
+        { Plan_exec.semijoin_reduction = false;
+          symmetric_reuse = true;
+          memoize = false;
+        },
+        0 );
+      ( "sjr",
+        { Plan_exec.semijoin_reduction = true;
+          symmetric_reuse = true;
+          memoize = false;
+        },
+        0 );
+      ( "full",
+        { Plan_exec.semijoin_reduction = true;
+          symmetric_reuse = true;
+          memoize = true;
+        },
+        max_int );
+    ]
+  in
+  let prepare budget =
+    Catalog.set_memo_budget catalog budget;
+    Catalog.memo_clear catalog
+  in
+  let chain options =
+    List.map (fun plan -> Plan_exec.run ~options catalog plan) plans
+  in
+  (* Correctness: every configuration returns byte-identical k-sets. *)
+  let baseline =
+    let _, options, budget = List.hd configs in
+    prepare budget;
+    chain options
+  in
+  List.iter
+    (fun (name, options, budget) ->
+      prepare budget;
+      List.iter2
+        (fun expected got ->
+          check_equal (Printf.sprintf "E16 %s" name) expected got)
+        baseline (chain options))
+    (List.tl configs);
+  (* Metrics pass: per-config totals over the chain's step reports. *)
+  let metrics =
+    List.map
+      (fun (name, options, budget) ->
+        prepare budget;
+        let steps =
+          List.concat_map
+            (fun plan ->
+              (Plan_exec.run_with_report ~options catalog plan).Plan_exec.steps)
+            plans
+        in
+        let sum f = List.fold_left (fun acc s -> acc + f s) 0 steps in
+        ( name,
+          ( sum (fun s -> s.Plan_exec.tabulated_rows),
+            sum (fun s -> s.Plan_exec.sip_pruned),
+            List.length (List.filter (fun s -> s.Plan_exec.memo_hit) steps) ) ))
+      configs
+  in
+  (* Timing — round-robin shuffled rounds with the min-of-keep estimator,
+     exactly E12's protocol (see the comments there for why). *)
+  let rounds = if !quick then 7 else 31 in
+  let keep = if !quick then 3 else 7 in
+  let configs_arr = Array.of_list configs in
+  let nconfigs = Array.length configs_arr in
+  let samples = Array.make_matrix nconfigs rounds infinity in
+  let order = Array.init nconfigs Fun.id in
+  let rng = ref (int_of_float (Unix.gettimeofday () *. 1e6) land 0x3FFFFFFF) in
+  let next_rng () =
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    (!rng lsr 12) land 0x7FFF
+  in
+  for round = 0 to rounds - 1 do
+    for i = nconfigs - 1 downto 1 do
+      let j = next_rng () mod (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    Array.iter
+      (fun i ->
+        let _, options, budget = configs_arr.(i) in
+        prepare budget;
+        Gc.full_major ();
+        let _, t = time (fun () -> chain options) in
+        samples.(i).(round) <- t)
+      order
+  done;
+  let best =
+    Array.map
+      (fun row ->
+        let sorted = Array.copy row in
+        Array.sort compare sorted;
+        let s = ref 0. in
+        for i = 0 to keep - 1 do
+          s := !s +. sorted.(i)
+        done;
+        !s /. float_of_int keep)
+      samples
+  in
+  let t_off = best.(0) in
+  row "@.%-8s %12s %9s %14s %12s %10s@." "config" "best (s)" "speedup"
+    "tabulated" "sip pruned" "memo hits";
+  let entries =
+    List.mapi
+      (fun i (name, _, _) ->
+        let tabulated, sip_pruned, memo_hits = List.assoc name metrics in
+        let speedup = t_off /. best.(i) in
+        row "%-8s %12.3f %8.2fx %14d %12d %10d@." name best.(i) speedup
+          tabulated sip_pruned memo_hits;
+        {
+          e16_config = name;
+          e16_best_s = best.(i);
+          e16_speedup = speedup;
+          e16_tabulated = tabulated;
+          e16_sip_pruned = sip_pruned;
+          e16_memo_hits = memo_hits;
+        })
+      configs
+  in
+  let tabulated name =
+    let t, _, _ = List.assoc name metrics in
+    t
+  in
+  let pruned_ratio =
+    1. -. (float_of_int (tabulated "full") /. float_of_int (tabulated "off"))
+  in
+  let full = List.nth entries 2 in
+  row
+    "@.%-26s rows-pruned ratio (1 - tabulated_full/tabulated_off): %.2f; \
+     full-vs-off speedup: %.2fx@."
+    "" pruned_ratio full.e16_speedup;
+  if full.e16_speedup < 1.3 then
+    row "%-26s WARNING: full config below the 1.3x acceptance floor@." "";
+  if !json then e16_write_json entries ~pruned_ratio
+
 (* {1 Driver} *)
 
 let all_experiments =
@@ -1323,6 +1540,7 @@ let all_experiments =
     "E13", e13;
     "E14", e14;
     "E15", e15;
+    "E16", e16;
     "BECHAMEL", bechamel_suite;
   ]
 

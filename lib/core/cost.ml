@@ -233,6 +233,21 @@ let estimate_step env ~threshold (s : Plan.step) =
      index) on top of the join work itself. *)
   e.work +. (3. *. e.rows), out_stats
 
+(* Reducer placement (executor-side SIP): materializing the semijoin of
+   a base relation with an [ok] step pays one pass over the base rows; it
+   wins when the ok set actually excludes values of the reduced column.
+   The survivor set can only shrink the column's domain, so comparing the
+   ok cardinality against the column's distinct count — the same
+   version-coherent profile the bound certifier seeds from — is a sound
+   keep-fraction estimate: at [ok_cardinal >= distinct] the reduction is
+   certifiably a no-op and is skipped. *)
+let reduce_keep_fraction = 0.98
+
+let should_reduce catalog ~pred ~col ~ok_cardinal =
+  match Statistics.distinct (Catalog.stats catalog pred) col with
+  | exception (Failure _ | Not_found) -> true
+  | d -> d > 0 && float_of_int ok_cardinal < reduce_keep_fraction *. float_of_int d
+
 (* Total row mass carried by the column values meeting the threshold. *)
 let mass_at_least freqs c =
   Array.fold_left (fun acc f -> if f >= c then acc +. float_of_int f else acc) 0. freqs

@@ -6,6 +6,7 @@ module Relation = Qf_relational.Relation
 module Value = Qf_relational.Value
 module Tuple = Qf_relational.Tuple
 module Aggregate = Qf_relational.Aggregate
+module Sip = Qf_relational.Sip
 
 module Obs = Qf_obs.Obs
 
@@ -16,9 +17,11 @@ module Log = (val Logs.src_log log_src)
 type config = {
   ratio_factor : float;
   improvement_factor : float;
+  sip_reducers : bool;
 }
 
-let default_config = { ratio_factor = 1.0; improvement_factor = 0.5 }
+let default_config =
+  { ratio_factor = 1.0; improvement_factor = 0.5; sip_reducers = true }
 
 type decision = {
   after : string;
@@ -64,14 +67,14 @@ let assignments_passing projected ~param_keys ~func ~keep =
    literal whether to interpose a filter.  [keep key aggregate_value]
    decides which parameter assignments survive a filter (this is where the
    union slack enters).  Returns the final environments and the trace. *)
-let walk_rule config catalog rule ~head_keys ~head_columns ~func ~keep =
+let walk_rule config catalog rule ~sip ~head_keys ~head_columns ~func ~keep =
   let ordered = Eval.order_body catalog rule in
   let best_ratio : (string list, float) Hashtbl.t = Hashtbl.create 8 in
   let threshold_hint = ref infinity in
   let step (envs, trace) lit =
     let envs =
       match lit with
-      | Ast.Pos a -> Eval.Envs.extend_pos catalog envs a
+      | Ast.Pos a -> Eval.Envs.extend_pos ~sip catalog envs a
       | Ast.Neg a -> Eval.Envs.filter_neg catalog envs a
       | Ast.Cmp (l, c, r) -> Eval.Envs.filter_cmp envs l c r
     in
@@ -177,6 +180,36 @@ let head_var_keys (rule : Ast.rule) =
 
 (* {1 Single-rule evaluation (the paper's Ex. 4.4)} *)
 
+(* A-priori reducers for the walk (single-rule COUNT filters only): for
+   each parameter [p], the COUNT of [p]'s minimal safe subquery per value
+   upper-bounds the full rule's per-value answer count (same a-priori
+   argument as the levelwise ok steps, and the same per-parameter tables
+   the union executor's slack bounds are built from).  Values whose bound
+   misses the threshold can never contribute a surviving assignment, so
+   the evaluator may refuse to even create bindings for them.  A reducer
+   that would keep every value is omitted. *)
+let apriori_reducers catalog rule ~params ~threshold =
+  List.filter_map
+    (fun p ->
+      match Subquery.minimal_for_params rule [ p ] with
+      | None -> None
+      | Some c ->
+        let tab = Eval.tabulate catalog c.rule in
+        let counts =
+          Aggregate.group_by tab ~keys:[ "$" ^ p ] ~func:Aggregate.Count
+        in
+        let passing =
+          List.filter_map
+            (fun ((key : Tuple.t), v) ->
+              match Value.to_float v with
+              | Some x when x >= threshold -> Some (Tuple.get key 0)
+              | _ -> None)
+            counts
+        in
+        if List.compare_lengths passing counts = 0 then None
+        else Some ("$" ^ p, Sip.of_values (Array.of_list passing)))
+    params
+
 let run_single config catalog (flock : Flock.t) rule =
   let head_keys = head_var_keys rule in
   let head_columns = Eval.head_columns rule in
@@ -185,8 +218,14 @@ let run_single config catalog (flock : Flock.t) rule =
   let keep ~params:_ _key v =
     match Value.to_float v with Some x -> x >= threshold | None -> false
   in
+  let sip =
+    match flock.filter.agg with
+    | Filter.Count when config.sip_reducers ->
+      apriori_reducers catalog rule ~params:(Flock.params flock) ~threshold
+    | _ -> []
+  in
   let envs, trace =
-    walk_rule config catalog rule ~head_keys ~head_columns ~func ~keep
+    walk_rule config catalog rule ~sip ~head_keys ~head_columns ~func ~keep
       ~threshold
   in
   let param_keys = List.map (fun p -> "$" ^ p) (Flock.params flock) in
@@ -291,8 +330,11 @@ let run_union config catalog (flock : Flock.t) rules =
             slack = max_int || x +. float_of_int slack >= threshold
         in
         let head_keys = head_var_keys rule in
+        (* No reducers here: a value below one branch's own threshold may
+           still pass through the union (see [test_union_crosses_branches]),
+           so per-branch a-priori pruning would be unsound. *)
         let envs, trace =
-          walk_rule config catalog rule ~head_keys
+          walk_rule config catalog rule ~sip:[] ~head_keys
             ~head_columns:(Eval.head_columns rule)
             ~func:Aggregate.Count ~keep ~threshold
         in

@@ -34,6 +34,15 @@
 type config = {
   ratio_factor : float;  (** default 1.0 *)
   improvement_factor : float;  (** default 0.5 *)
+  sip_reducers : bool;
+      (** default [true]: for single-rule COUNT filters, prime the walk
+          with a-priori {!Qf_relational.Sip} reducers — one per parameter,
+          keeping the values whose minimal-safe-subquery count reaches the
+          threshold — so the evaluator skips doomed bindings instead of
+          creating and later filtering them.  Sound by the levelwise
+          a-priori argument; disabled automatically for unions and
+          non-COUNT filters.  Does not change the trace shape (one
+          decision per literal) or the answers. *)
 }
 
 val default_config : config

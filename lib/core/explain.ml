@@ -45,6 +45,8 @@ type step_profile = {
   bound_rows : float option;
   bound_groups : float option;
   reused_from : string option;
+  memo_hit : bool;
+  sip_pruned : int;
 }
 
 type profile = {
@@ -94,6 +96,8 @@ let profile ?options ?(clamps = []) catalog (plan : Plan.t) =
               bound_rows = Option.map snd bounds;
               bound_groups = Option.map fst bounds;
               reused_from = r.Plan_exec.reused_from;
+              memo_hit = r.Plan_exec.memo_hit;
+              sip_pruned = r.Plan_exec.sip_pruned;
             })
           (Plan.all_steps plan) report.Plan_exec.steps
       in
@@ -144,10 +148,10 @@ let profile_text ?(redact_timings = false) (p : profile) =
   in
   let bound_cols a b = if have_bounds then Printf.sprintf " %10s %10s" a b else "" in
   Buffer.add_string buf
-    (Printf.sprintf "%-*s %10s %10s%s %10s %10s %10s %12s\n" name_width "step"
-       "est_grps" "est_rows"
+    (Printf.sprintf "%-*s %10s %10s%s %10s %10s %10s %10s %5s %12s\n"
+       name_width "step" "est_grps" "est_rows"
        (bound_cols "cert_grps" "cert_rows")
-       "rows_in" "groups" "rows_out" "time_s");
+       "rows_in" "groups" "rows_out" "sip_prune" "memo" "time_s");
   List.iter
     (fun (s : step_profile) ->
       let shown =
@@ -156,10 +160,12 @@ let profile_text ?(redact_timings = false) (p : profile) =
         | None -> s.name
       in
       Buffer.add_string buf
-        (Printf.sprintf "%-*s %10s %10s%s %10d %10d %10d %12s\n" name_width
-           shown (est s.est_groups) (est s.est_rows)
+        (Printf.sprintf "%-*s %10s %10s%s %10d %10d %10d %10d %5s %12s\n"
+           name_width shown (est s.est_groups) (est s.est_rows)
            (bound_cols (est s.bound_groups) (est s.bound_rows))
-           s.rows_in s.groups s.rows_out (time s.seconds)))
+           s.rows_in s.groups s.rows_out s.sip_pruned
+           (if s.memo_hit then "hit" else "-")
+           (time s.seconds)))
     p.steps;
   Buffer.add_string buf
     (Printf.sprintf "\nresult rows: %d\ntotal time_s: %s\n" p.result_rows
@@ -217,12 +223,13 @@ let profile_json ?(redact_timings = false) (p : profile) =
         (Printf.sprintf
            "    {\"name\": \"%s\", \"params\": [%s], \"est_groups\": %s, \
             \"est_rows\": %s%s, \"rows_in\": %d, \"groups\": %d, \"rows_out\": \
-            %d, \"reused_from\": %s, \"seconds\": %s}%s\n"
+            %d, \"sip_pruned\": %d, \"memo_hit\": %b, \"reused_from\": %s, \
+            \"seconds\": %s}%s\n"
            (json_escape s.name)
            (String.concat ", "
               (List.map (fun q -> "\"" ^ json_escape q ^ "\"") s.params))
            (opt_float s.est_groups) (opt_float s.est_rows) bounds s.rows_in
-           s.groups s.rows_out
+           s.groups s.rows_out s.sip_pruned s.memo_hit
            (match s.reused_from with
            | None -> "null"
            | Some t -> "\"" ^ json_escape t ^ "\"")

@@ -35,6 +35,8 @@ type step_profile = {
   bound_rows : float option;  (** certified upper bound on [rows_out] *)
   bound_groups : float option;  (** certified upper bound on [groups] *)
   reused_from : string option;  (** symmetric-step alias, not recomputed *)
+  memo_hit : bool;  (** fetched from the cross-level subplan memo *)
+  sip_pruned : int;  (** base rows removed by materialized semijoin reducers *)
 }
 
 type profile = {

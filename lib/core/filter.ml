@@ -47,6 +47,25 @@ let pp ~head ppf t =
   | Min c -> Format.fprintf ppf "MIN(%s.%s) >= %a" head c pp_threshold t.threshold
   | Max c -> Format.fprintf ppf "MAX(%s.%s) >= %a" head c pp_threshold t.threshold
 
+(* Canonical form for memo keys: the aggregated column is named by its
+   *position* among the head columns, not its name — α-renamed queries
+   change head variable names but not positions, and two steps must only
+   share a memo entry when their filters agree under the renaming. *)
+let signature t ~head_columns =
+  let positional label c =
+    match List.find_index (String.equal c) head_columns with
+    | Some i -> Some (Printf.sprintf "%s@%d" label i)
+    | None -> None
+  in
+  let agg =
+    match t.agg with
+    | Count -> Some "COUNT"
+    | Sum c -> positional "SUM" c
+    | Min c -> positional "MIN" c
+    | Max c -> positional "MAX" c
+  in
+  Option.map (fun a -> Printf.sprintf "%s>=%.17g" a t.threshold) agg
+
 let equal a b =
   a.threshold = b.threshold
   &&

@@ -38,3 +38,9 @@ val holds : t -> Qf_relational.Value.t -> bool
 val pp : head:string -> Format.formatter -> t -> unit
 
 val equal : t -> t -> bool
+
+(** Canonical rendering for memo signatures: the aggregate with its
+    column replaced by the column's {e position} in [head_columns] (so
+    α-equivalent steps with renamed head variables agree), plus the
+    threshold.  [None] when the aggregated column is not a head column. *)
+val signature : t -> head_columns:string list -> string option

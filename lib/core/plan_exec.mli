@@ -19,6 +19,14 @@ type step_report = {
   reused_from : string option;
       (** [Some earlier] when the step was aliased to an earlier step's
           result by symmetry instead of being computed *)
+  memo_hit : bool;
+      (** the step's result came from the catalog's cross-level subplan
+          memo (an α-equivalent step computed by this or a previous plan
+          run against the same base relations) *)
+  sip_pruned : int;
+      (** rows removed from base relations by materialized semijoin
+          reducers while computing this step (deterministic: identical
+          across layouts and domain-pool sizes) *)
 }
 
 type report = {
@@ -28,17 +36,28 @@ type report = {
 
 (** Executor optimizations, exposed so the benchmarks can ablate them.
 
-    - [semijoin_reduction] materializes the semijoin of each base relation
-      with the unary [ok] relations restricting its parameters before the
-      joins — the rewrite behind the paper's Sec. 1.3 speedup;
+    - [semijoin_reduction] pre-filters base relations against {!Sip}
+      reducers (exact code sets or Bloom filters) built over the unary
+      [ok] relations restricting their parameters — the rewrite behind
+      the paper's Sec. 1.3 speedup — and hands multi-parameter [ok]
+      reducers to the evaluator's binding extension
+      ([Eval.tabulate_query ~sip]).  Placement is cost-gated by
+      {!Cost.should_reduce};
     - [symmetric_reuse] computes a filter step once when it equals an
-      earlier step up to parameter renaming (the Ex. 3.1 remark). *)
+      earlier step up to parameter renaming (the Ex. 3.1 remark);
+    - [memoize] consults and feeds the catalog's cross-level subplan memo
+      ({!Qf_relational.Catalog.memo_find}): steps α-equivalent to one
+      computed by an earlier plan run over the same relation versions
+      (e.g. level k-1's final query, which is exactly one of level k's
+      auxiliary steps) are fetched instead of recomputed.  A no-op when
+      the memo budget ([QF_MEMO_BUDGET]) is 0. *)
 type options = {
   semijoin_reduction : bool;
   symmetric_reuse : bool;
+  memoize : bool;
 }
 
-(** Both enabled. *)
+(** All enabled. *)
 val default_options : options
 
 (** Run a plan.  The input catalog is not modified. *)

@@ -10,6 +10,8 @@ module Dict = Qf_relational.Dict
 module Chunkrel = Qf_relational.Chunkrel
 module Buf = Chunkrel.Buf
 module Pool = Qf_exec_pool.Pool
+module Sip = Qf_relational.Sip
+module Obs = Qf_obs.Obs
 
 exception Error of string
 
@@ -208,7 +210,21 @@ module Envs = struct
     in
     roles, List.rev !fresh
 
-  let extend_pos catalog t (a : Ast.atom) =
+  (* Sideways-information-passing at binding extension: [sip] maps a
+     binding key about to be bound ([Bind_new]) to a reducer
+     over-approximating the values that can survive the rest of the rule
+     (in practice: the parameter column of a materialized [ok] step whose
+     subgoal is still in the body).  A candidate match whose fresh value
+     fails its reducer is dropped before the row is emitted; the
+     ok-subgoal join would have dropped it later anyway, so results are
+     unchanged — only the intermediate row count shrinks.
+
+     Rejections are totted up in one atomic and flushed as a single
+     [sip.rows_pruned] count: the set of key-matched candidates examined
+     is the same in both layouts and under any chunking, so the total is
+     deterministic across layouts and pool sizes (the invariant the
+     differential suite pins down). *)
+  let extend_pos ?(sip = []) catalog t (a : Ast.atom) =
     let rel = relation_for catalog a in
     let roles, fresh_keys = analyze_args t a in
     let key_positions =
@@ -245,10 +261,27 @@ module Envs = struct
         | Key_const _ | Key_slot _ -> ())
       roles;
     let fills = List.rev !fills and checks = List.rev !checks in
+    (* Reducers aligned with the fresh bindings: [(index into the
+       fresh-values list, reducer)]. *)
+    let sip_checks =
+      if sip = [] then []
+      else
+        List.mapi (fun i key -> i, List.assoc_opt key sip) fresh_keys
+        |> List.filter_map (fun (i, s) -> Option.map (fun s -> i, s) s)
+    in
+    let rejects =
+      if sip_checks <> [] && Obs.enabled () then Some (Atomic.make 0) else None
+    in
+    let reject () =
+      match rejects with
+      | Some r -> ignore (Atomic.fetch_and_add r 1)
+      | None -> ()
+    in
     let slots =
       t.slots @ List.mapi (fun i key -> key, width + i) fresh_keys
     in
-    match t.repr with
+    let result =
+      match t.repr with
     | Vals rows ->
       let extend_row row =
         let key = Tuple.of_list (List.map (fun f -> f row) key_builders) in
@@ -262,6 +295,15 @@ module Envs = struct
                 checks
             in
             if not ok then None
+            else if
+              not
+                (List.for_all
+                   (fun (i, s) -> Sip.mem_value s (List.nth fresh_values i))
+                   sip_checks)
+            then begin
+              reject ();
+              None
+            end
             else begin
               let row' = Array.make new_width (Value.Int 0) in
               Array.blit row 0 row' 0 width;
@@ -302,6 +344,10 @@ module Envs = struct
              checks)
       in
       let nchecks = Array.length check_pairs in
+      let sip_cols =
+        Array.of_list (List.map (fun (i, s) -> fill_cols.(i), s) sip_checks)
+      in
+      let nsips = Array.length sip_cols in
       let run ~lo ~hi =
         let out = Buf.create ((hi - lo) * new_width) in
         let emitted = ref 0 in
@@ -333,14 +379,24 @@ module Envs = struct
               Array.unsafe_get ca row = Array.unsafe_get cb row
               && checks_ok (c + 1)
             in
+            let rec sip_ok k =
+              k >= nsips
+              ||
+              let col, s = Array.unsafe_get sip_cols k in
+              Sip.mem s (Array.unsafe_get col row) && sip_ok (k + 1)
+            in
             if keys_eq 0 && checks_ok 0 then begin
-              incr emitted;
-              for c = 0 to width - 1 do
-                Buf.push out (Array.unsafe_get data (base + c))
-              done;
-              for k = 0 to n_fresh - 1 do
-                Buf.push out (Array.unsafe_get (Array.unsafe_get fill_cols k) row)
-              done
+              if sip_ok 0 then begin
+                incr emitted;
+                for c = 0 to width - 1 do
+                  Buf.push out (Array.unsafe_get data (base + c))
+                done;
+                for k = 0 to n_fresh - 1 do
+                  Buf.push out
+                    (Array.unsafe_get (Array.unsafe_get fill_cols k) row)
+                done
+              end
+              else reject ()
             end;
             j := ci.Index.next.(row)
           done
@@ -354,6 +410,11 @@ module Envs = struct
         else Pool.run_chunks pool ~n:count run
       in
       { slots; repr = merge_code_chunks ~width:new_width pieces }
+    in
+    (match rejects with
+    | Some r -> Obs.count "sip.rows_pruned" (Atomic.get r)
+    | None -> ());
+    result
 
   let term_getter t = function
     | Ast.Const v -> fun (_ : Value.t array) -> v
@@ -622,12 +683,12 @@ let head_columns (r : Ast.rule) =
       if n = 1 then name else Printf.sprintf "%s_%d" name n)
     base
 
-let run_body catalog (r : Ast.rule) =
+let run_body ?sip catalog (r : Ast.rule) =
   let ordered = order_body catalog r in
   List.fold_left
     (fun envs lit ->
       match lit with
-      | Ast.Pos a -> Envs.extend_pos catalog envs a
+      | Ast.Pos a -> Envs.extend_pos ?sip catalog envs a
       | Ast.Neg a -> Envs.filter_neg catalog envs a
       | Ast.Cmp (l, c, rt) -> Envs.filter_cmp envs l c rt)
     (Envs.start ()) ordered
@@ -691,8 +752,8 @@ let param_keys_and_columns (r : Ast.rule) =
   let params = Ast.rule_params r in
   List.map (fun p -> "$" ^ p) params, List.map (fun p -> "$" ^ p) params
 
-let tabulate catalog (r : Ast.rule) =
-  let envs = run_body catalog r in
+let tabulate ?sip catalog (r : Ast.rule) =
+  let envs = run_body ?sip catalog r in
   let group_keys, group_columns = param_keys_and_columns r in
   project_with_consts envs ~group_keys ~group_columns r
 
@@ -704,15 +765,15 @@ let answers catalog ~bindings (r : Ast.rule) =
   let envs = run_body catalog r' in
   project_with_consts envs ~group_keys:[] ~group_columns:[] r'
 
-let tabulate_query catalog (q : Ast.query) =
+let tabulate_query ?sip catalog (q : Ast.query) =
   (match Ast.wf_query q with Ok () -> () | Error e -> raise (Error e));
   match q with
   | [] -> assert false
   | first :: rest ->
-    let acc = tabulate catalog first in
+    let acc = tabulate ?sip catalog first in
     List.fold_left
       (fun acc r ->
-        let next = tabulate catalog r in
+        let next = tabulate ?sip catalog r in
         (* Positional rename: arities agree by wf_query. *)
         Relation.fold (fun tup () -> Relation.add acc tup) next ();
         acc)

@@ -29,8 +29,23 @@ module Envs : sig
   val count : t -> int
 
   (** [extend_pos catalog envs atom] joins with the stored relation for
-      [atom].  Raises {!Error} on an unknown predicate or arity mismatch. *)
-  val extend_pos : Qf_relational.Catalog.t -> t -> Ast.atom -> t
+      [atom].  Raises {!Error} on an unknown predicate or arity mismatch.
+
+      [sip] maps binding keys (as in {!Ast.binding_key}, e.g. ["$p"]) to
+      sideways-information-passing reducers: when the atom {e binds} such
+      a key for the first time, candidate matches whose fresh value fails
+      the reducer are dropped before the extended row is emitted.  Sound
+      only when the reducer over-approximates the values the rest of the
+      rule accepts for that key (reducers have no false negatives, so the
+      final result set is unchanged — only intermediate rows shrink).
+      Rejections are flushed as one [sip.rows_pruned] Obs count, whose
+      total is deterministic across layouts and pool sizes. *)
+  val extend_pos :
+    ?sip:(string * Qf_relational.Sip.t) list ->
+    Qf_relational.Catalog.t ->
+    t ->
+    Ast.atom ->
+    t
 
   (** [filter_neg catalog envs atom] keeps environments for which the
       instantiated atom is {e not} in its relation.  All argument terms must
@@ -69,7 +84,11 @@ val head_columns : Ast.rule -> string list
     the distinct (parameter values, head values) combinations derivable
     from the body.  This is the building block of both direct flock
     evaluation and FILTER steps.  Raises {!Error} on an unsafe rule. *)
-val tabulate : Qf_relational.Catalog.t -> Ast.rule -> Qf_relational.Relation.t
+val tabulate :
+  ?sip:(string * Qf_relational.Sip.t) list ->
+  Qf_relational.Catalog.t ->
+  Ast.rule ->
+  Qf_relational.Relation.t
 
 (** [answers catalog ~bindings rule] evaluates the rule with all parameters
     bound by [bindings] (keys as in {!Ast.binding_key}, e.g. ["$s"]) and
@@ -83,6 +102,10 @@ val answers :
 
 (** [tabulate_query catalog query] evaluates a union: the set-union of each
     rule's {!tabulate}, with all results renamed to the first rule's schema
-    (positionally).  Raises {!Error} if {!Ast.wf_query} fails. *)
+    (positionally).  [sip] as in {!Envs.extend_pos}, applied to every
+    rule.  Raises {!Error} if {!Ast.wf_query} fails. *)
 val tabulate_query :
-  Qf_relational.Catalog.t -> Ast.query -> Qf_relational.Relation.t
+  ?sip:(string * Qf_relational.Sip.t) list ->
+  Qf_relational.Catalog.t ->
+  Ast.query ->
+  Qf_relational.Relation.t

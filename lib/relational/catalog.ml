@@ -13,19 +13,62 @@
    and is exactly what lets one plan's FILTER steps, the optimizer's
    candidate probes and the bench's per-support loops reuse each other's
    work.  A small mutex guards the table; parallel kernels only read
-   indexes, never the cache. *)
+   indexes, never the cache.
+
+   Residency is bounded by an LRU byte budget ([QF_INDEX_BUDGET],
+   default 128 MiB) instead of the old wipe-everything entry cap: a
+   mining run over many supports used to either grow without bound or
+   lose the whole working set at once.  Evictions are counted
+   ([index_cache.evict]). *)
 
 type index_cache = {
-  entries : (int * int list, int * Index.t) Hashtbl.t;
+  entries : (int * int list, int * Index.t) Lru.t;
   cache_mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-(* Dead relations (temporary plan-execution results) leave at most one
-   entry per (id, positions); cap the table so pathological churn cannot
-   grow it without bound. *)
-let max_cache_entries = 1024
+(* {1 Subplan memo}
+
+   Cross-level memoization of FILTER-step outputs, keyed by the step's
+   canonical signature (computed in [qf_core]'s [Stepsig]; the catalog
+   only sees opaque strings).  The signature embeds each referenced
+   relation's (id, version) pair, so mutation invalidates by key change —
+   the same version-counter discipline as the index cache — and entries
+   for dead versions age out through the LRU budget ([QF_MEMO_BUDGET],
+   default 64 MiB; [0] disables memoization). *)
+
+type memo = {
+  memo_entries : (string, Relation.t) Lru.t;
+  memo_mutex : Mutex.t;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+}
+
+(* "512k", "64m", "2g", plain bytes, or "unbounded"; unset/garbage falls
+   back to [default]. *)
+let budget_of_env var ~default =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some raw -> (
+    let raw = String.trim raw in
+    match String.lowercase_ascii raw with
+    | "unbounded" | "inf" -> max_int
+    | "" -> default
+    | s ->
+      let scale, digits =
+        match s.[String.length s - 1] with
+        | 'k' -> 1024, String.sub s 0 (String.length s - 1)
+        | 'm' -> 1024 * 1024, String.sub s 0 (String.length s - 1)
+        | 'g' -> 1024 * 1024 * 1024, String.sub s 0 (String.length s - 1)
+        | _ -> 1, s
+      in
+      (match int_of_string_opt digits with
+      | Some n when n >= 0 -> n * scale
+      | Some _ | None -> default))
+
+let default_index_budget = 128 * 1024 * 1024
+let default_memo_budget = 64 * 1024 * 1024
 
 type t = {
   relations : (string, Relation.t) Hashtbl.t;
@@ -36,6 +79,7 @@ type t = {
          a miss, so in-place {!Relation.add} mutation can never leak stale
          profiles into the analyzer, even through {!copy}s. *)
   indexes : index_cache;
+  memo : memo;
 }
 
 let create () =
@@ -44,10 +88,21 @@ let create () =
     stats_cache = Hashtbl.create 16;
     indexes =
       {
-        entries = Hashtbl.create 64;
+        entries =
+          Lru.create
+            ~budget:(budget_of_env "QF_INDEX_BUDGET" ~default:default_index_budget);
         cache_mutex = Mutex.create ();
         hits = 0;
         misses = 0;
+      };
+    memo =
+      {
+        memo_entries =
+          Lru.create
+            ~budget:(budget_of_env "QF_MEMO_BUDGET" ~default:default_memo_budget);
+        memo_mutex = Mutex.create ();
+        memo_hits = 0;
+        memo_misses = 0;
       };
   }
 
@@ -87,7 +142,7 @@ let index t rel positions =
   let current = Relation.version rel in
   Mutex.lock c.cache_mutex;
   let cached =
-    match Hashtbl.find_opt c.entries key with
+    match Lru.find c.entries key with
     | Some (version, idx) when version = current ->
       c.hits <- c.hits + 1;
       Some idx
@@ -107,16 +162,20 @@ let index t rel positions =
   | None ->
     let idx = Index.build rel positions in
     Mutex.lock c.cache_mutex;
-    if Hashtbl.length c.entries >= max_cache_entries then
-      Hashtbl.reset c.entries;
-    Hashtbl.replace c.entries key (current, idx);
+    let evicted =
+      Lru.add c.entries key (current, idx) ~bytes:(Index.approx_bytes idx)
+    in
     Mutex.unlock c.cache_mutex;
+    if evicted > 0 && Qf_obs.Obs.enabled () then
+      Qf_obs.Obs.count "index_cache.evict" evicted;
     idx
 
 let index_on t rel cols =
   index t rel (List.map (Schema.position (Relation.schema rel)) cols)
 
 let index_stats t = t.indexes.hits, t.indexes.misses
+let index_evictions t = Lru.evictions t.indexes.entries
+let set_index_budget t budget = ignore (Lru.set_budget t.indexes.entries budget)
 
 let reset_index_stats t =
   t.indexes.hits <- 0;
@@ -131,11 +190,59 @@ let index_stats_mark = index_stats
 let index_stats_since t (h0, m0) =
   t.indexes.hits - h0, t.indexes.misses - m0
 
+(* {1 Memo operations} *)
+
+let memo_enabled t = Lru.budget t.memo.memo_entries > 0
+
+let memo_find t key =
+  if not (memo_enabled t) then None
+  else begin
+    let m = t.memo in
+    Mutex.lock m.memo_mutex;
+    let cached = Lru.find m.memo_entries key in
+    (match cached with
+    | Some _ -> m.memo_hits <- m.memo_hits + 1
+    | None -> m.memo_misses <- m.memo_misses + 1);
+    Mutex.unlock m.memo_mutex;
+    (if Qf_obs.Obs.enabled () then
+       match cached with
+       | Some _ -> Qf_obs.Obs.count "memo.hit" 1
+       | None -> Qf_obs.Obs.count "memo.miss" 1);
+    cached
+  end
+
+let memo_add t key rel =
+  if memo_enabled t then begin
+    let m = t.memo in
+    Mutex.lock m.memo_mutex;
+    let evicted =
+      Lru.add m.memo_entries key rel
+        ~bytes:(Relation.approx_bytes rel + String.length key)
+    in
+    Mutex.unlock m.memo_mutex;
+    if evicted > 0 && Qf_obs.Obs.enabled () then
+      Qf_obs.Obs.count "memo.evict" evicted
+  end
+
+let memo_stats t =
+  t.memo.memo_hits, t.memo.memo_misses, Lru.evictions t.memo.memo_entries
+
+let memo_budget t = Lru.budget t.memo.memo_entries
+let set_memo_budget t budget = ignore (Lru.set_budget t.memo.memo_entries budget)
+
+let memo_clear t =
+  Mutex.lock t.memo.memo_mutex;
+  Lru.clear t.memo.memo_entries;
+  Mutex.unlock t.memo.memo_mutex
+
+let memo_bytes t = Lru.total_bytes t.memo.memo_entries
+
 let copy t =
   {
     relations = Hashtbl.copy t.relations;
     stats_cache = Hashtbl.copy t.stats_cache;
     indexes = t.indexes;
+    memo = t.memo;
   }
 
 let pp ppf t =

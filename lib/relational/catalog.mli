@@ -40,6 +40,14 @@ val index_on : t -> Relation.t -> string list -> Index.t
     {!reset_index_stats}). *)
 val index_stats : t -> int * int
 
+(** Entries evicted from the index cache's LRU byte budget since
+    creation.  The budget comes from [QF_INDEX_BUDGET] (bytes, with
+    optional [k]/[m]/[g] suffix, or ["unbounded"]; default 128 MiB). *)
+val index_evictions : t -> int
+
+(** Override the index cache's byte budget ([0] disables caching). *)
+val set_index_budget : t -> int -> unit
+
 val reset_index_stats : t -> unit
 
 (** Per-run attribution over the shared cache: the counters are shared
@@ -53,11 +61,50 @@ val index_stats_mark : t -> int * int
     [mark] was taken. *)
 val index_stats_since : t -> int * int -> int * int
 
+(** {1 Subplan memo}
+
+    A cross-level memo table for FILTER-step outputs, keyed by canonical
+    step signatures (opaque strings; [qf_core]'s [Stepsig] computes them
+    and embeds every referenced relation's (id, version) pair, so
+    mutation invalidates by key change — the index cache's version
+    discipline).  Bounded by an LRU byte budget from [QF_MEMO_BUDGET]
+    (same syntax as [QF_INDEX_BUDGET]; default 64 MiB; [0] disables
+    memoization entirely).  Shared across {!copy}s, like the index
+    cache. *)
+
+(** [false] when the budget is [0]: {!memo_find} always misses silently
+    and {!memo_add} is a no-op. *)
+val memo_enabled : t -> bool
+
+(** Lookup by signature.  Counts a hit or miss (per-catalog stats and,
+    when observability is enabled, the [memo.hit]/[memo.miss] Obs
+    counters). *)
+val memo_find : t -> string -> Relation.t option
+
+(** Store a step output under its signature; LRU-evicts past the budget
+    (counted in {!memo_stats} and the [memo.evict] Obs counter). *)
+val memo_add : t -> string -> Relation.t -> unit
+
+(** [(hits, misses, evictions)] since creation. *)
+val memo_stats : t -> int * int * int
+
+val memo_budget : t -> int
+
+(** Override the byte budget ([0] disables; shrinking evicts). *)
+val set_memo_budget : t -> int -> unit
+
+(** Drop every memo entry (budget and stats are kept). *)
+val memo_clear : t -> unit
+
+(** Current resident bytes (approximate, as declared at insertion). *)
+val memo_bytes : t -> int
+
 (** A shallow copy: the new catalog shares relations but registering in one
     does not affect the other.  Plan execution uses this to add temporary
     [ok] relations without polluting the base catalog.  The index cache
-    is shared with the copy (entries are keyed by relation identity, so
-    sharing is sound and lets working copies reuse built indexes). *)
+    and subplan memo are shared with the copy (entries are keyed by
+    relation identity resp. signatures embedding relation identities, so
+    sharing is sound and lets working copies reuse each other's work). *)
 val copy : t -> t
 
 val pp : Format.formatter -> t -> unit

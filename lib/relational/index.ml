@@ -134,6 +134,16 @@ let code_index t =
     t.cidx <- Some ci;
     ci
 
+(* Same layout-independence rule as [Relation.approx_bytes]: the formula
+   sees only row and key-column counts, which both layouts agree on. *)
+let approx_bytes t =
+  let rows =
+    match t.source with
+    | Rows tuples -> Array.length tuples
+    | Chunk chunk -> chunk.Chunkrel.nrows
+  in
+  (16 * (Array.length t.positions + 2) * rows) + 256
+
 let lookup t key =
   match Tuple.Table.find_opt (ensure_groups t) key with
   | Some l -> !l

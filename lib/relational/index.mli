@@ -45,6 +45,11 @@ val build_on : Relation.t -> string list -> t
 (** The positions the index was built on. *)
 val positions : t -> int list
 
+(** Approximate in-memory size for the catalog's LRU byte budget; a
+    function of row and key-column counts only (layout-independent, like
+    {!Relation.approx_bytes}). *)
+val approx_bytes : t -> int
+
 (** Tuples whose indexed columns equal [key] (same order as the positions
     the index was built on). *)
 val lookup : t -> Tuple.t -> Tuple.t list

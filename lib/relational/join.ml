@@ -63,6 +63,30 @@ let residual_columns a b pairs =
       c, out)
     residual_base
 
+(* Probe-side SIP prechecks: [(pos, reducer)] pairs over [a]'s columns.
+   A probe row failing a reducer cannot match the build side (the caller
+   guarantees each reducer over-approximates [b]'s values at the paired
+   column), so it is skipped before the chain walk.  Reducers never
+   change the result set — only the work — and emit no counters of their
+   own here, so join outputs and metrics stay deterministic. *)
+let sip_checks_cols ca sip =
+  let checks =
+    Array.of_list
+      (List.map (fun (p, s) -> ca.Chunkrel.cols.(p), s) sip)
+  in
+  let n = Array.length checks in
+  fun i ->
+    let rec loop k =
+      k >= n
+      ||
+      let col, s = Array.unsafe_get checks k in
+      Sip.mem s (Array.unsafe_get col i) && loop (k + 1)
+    in
+    loop 0
+
+let sip_pass_row sip tup =
+  List.for_all (fun (p, s) -> Sip.mem_value s (Tuple.get tup p)) sip
+
 let use_pool pool n threshold =
   let pool = match pool with Some p -> p | None -> Pool.default () in
   if Pool.size pool > 1 && n >= threshold then Some pool else None
@@ -127,10 +151,11 @@ let merge_bufs chunks =
    build row) pair buffer; buffers merge by blit and the output columns
    are gathered once. *)
 
-let equi_cols ?pool ?par_threshold a b pos_a pos_b residual out_schema =
+let equi_cols ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema =
   let ca = Relation.codes a in
   let ci = Index.code_index (Index.build b (Array.to_list pos_b)) in
   let akey_cols = Array.map (fun p -> ca.Chunkrel.cols.(p)) pos_a in
+  let sip_pass = sip_checks_cols ca sip in
   let sb = Relation.schema b in
   let residual_pos =
     Array.of_list (List.map (fun (c, _) -> Schema.position sb c) residual)
@@ -141,14 +166,16 @@ let equi_cols ?pool ?par_threshold a b pos_a pos_b residual out_schema =
     | None ->
       let buf = Buf.create (2 * n) in
       for i = 0 to n - 1 do
-        probe_chain ci akey_cols i (fun j -> Buf.push2 buf i j)
+        if sip_pass i then
+          probe_chain ci akey_cols i (fun j -> Buf.push2 buf i j)
       done;
       Buf.to_array buf
     | Some pool ->
       Pool.run_chunks pool ~n (fun ~lo ~hi ->
           let buf = Buf.create (2 * (hi - lo)) in
           for i = lo to hi - 1 do
-            probe_chain ci akey_cols i (fun j -> Buf.push2 buf i j)
+            if sip_pass i then
+              probe_chain ci akey_cols i (fun j -> Buf.push2 buf i j)
           done;
           buf)
       |> merge_bufs
@@ -166,7 +193,7 @@ let equi_cols ?pool ?par_threshold a b pos_a pos_b residual out_schema =
   Relation.of_chunkrel out_schema
     { Chunkrel.nrows = m; cols = out_cols; rows_cache = None }
 
-let equi_rows ?pool ?par_threshold a b pos_a pos_b residual out_schema =
+let equi_rows ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema =
   let sb = Relation.schema b in
   let residual_pos =
     Array.of_list (List.map (fun (c, _) -> Schema.position sb c) residual)
@@ -174,10 +201,12 @@ let equi_rows ?pool ?par_threshold a b pos_a pos_b residual out_schema =
   let out = Relation.create out_schema in
   let idx = Index.build b (Array.to_list pos_b) in
   let probe ta emit =
-    let key = Tuple.project pos_a ta in
-    List.iter
-      (fun tb -> emit (Tuple.append ta (Tuple.project residual_pos tb)))
-      (Index.lookup idx key)
+    if sip_pass_row sip ta then begin
+      let key = Tuple.project pos_a ta in
+      List.iter
+        (fun tb -> emit (Tuple.append ta (Tuple.project residual_pos tb)))
+        (Index.lookup idx key)
+    end
   in
   (match use_pool pool (Relation.cardinal a) (threshold_of par_threshold) with
   | None -> Relation.iter (fun ta -> probe ta (Relation.add out)) a
@@ -194,7 +223,7 @@ let equi_rows ?pool ?par_threshold a b pos_a pos_b residual out_schema =
     List.iter (List.iter (Relation.add out)) produced);
   out
 
-let equi ?pool ?par_threshold a b pairs =
+let equi ?pool ?par_threshold ?(sip = []) a b pairs =
   observed "join.equi" a b @@ fun () ->
   let pos_a, pos_b = positions_of_pairs a b pairs in
   let residual = residual_columns a b pairs in
@@ -203,52 +232,58 @@ let equi ?pool ?par_threshold a b pairs =
   in
   match Layout.mode () with
   | Layout.Columnar ->
-    equi_cols ?pool ?par_threshold a b pos_a pos_b residual out_schema
+    equi_cols ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema
   | Layout.Row ->
-    equi_rows ?pool ?par_threshold a b pos_a pos_b residual out_schema
+    equi_rows ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema
 
 (* {1 Semi/anti joins} — membership filters over the probe side. *)
 
-let filter_by_presence_cols ?pool ?par_threshold ~keep_matching a b pos_a pos_b
-    =
+let filter_by_presence_cols ?pool ?par_threshold ~sip ~keep_matching a b pos_a
+    pos_b =
   let ca = Relation.codes a in
   let ci = Index.code_index (Index.build b (Array.to_list pos_b)) in
   let akey_cols = Array.map (fun p -> ca.Chunkrel.cols.(p)) pos_a in
+  let sip_pass = sip_checks_cols ca sip in
   let n = ca.Chunkrel.nrows in
   let kept =
     match use_pool pool n (threshold_of par_threshold) with
     | None ->
       let buf = Buf.create n in
       for i = 0 to n - 1 do
-        if chain_mem ci akey_cols i = keep_matching then Buf.push buf i
+        if sip_pass i && chain_mem ci akey_cols i = keep_matching then
+          Buf.push buf i
       done;
       Buf.to_array buf
     | Some pool ->
       Pool.run_chunks pool ~n (fun ~lo ~hi ->
           let buf = Buf.create (hi - lo) in
           for i = lo to hi - 1 do
-            if chain_mem ci akey_cols i = keep_matching then Buf.push buf i
+            if sip_pass i && chain_mem ci akey_cols i = keep_matching then
+              Buf.push buf i
           done;
           buf)
       |> merge_bufs
   in
   Relation.of_chunkrel (Relation.schema a) (Chunkrel.gather ca kept)
 
-let filter_by_presence ?pool ?par_threshold ~keep_matching a b pairs =
+let filter_by_presence ?pool ?par_threshold ?(sip = []) ~keep_matching a b
+    pairs =
   let pos_a, pos_b = positions_of_pairs a b pairs in
   match Layout.mode () with
   | Layout.Columnar ->
-    filter_by_presence_cols ?pool ?par_threshold ~keep_matching a b pos_a
+    filter_by_presence_cols ?pool ?par_threshold ~sip ~keep_matching a b pos_a
       pos_b
   | Layout.Row ->
     let idx = Index.build b (Array.to_list pos_b) in
     Relation.select ?pool ?par_threshold a (fun ta ->
+        sip_pass_row sip ta
+        &&
         let found = Index.mem idx (Tuple.project pos_a ta) in
         if keep_matching then found else not found)
 
-let semi ?pool ?par_threshold a b pairs =
+let semi ?pool ?par_threshold ?sip a b pairs =
   observed "join.semi" a b @@ fun () ->
-  filter_by_presence ?pool ?par_threshold ~keep_matching:true a b pairs
+  filter_by_presence ?pool ?par_threshold ?sip ~keep_matching:true a b pairs
 
 let anti ?pool ?par_threshold a b pairs =
   observed "join.anti" a b @@ fun () ->

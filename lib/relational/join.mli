@@ -9,7 +9,15 @@
     tuples.  Above a cardinality threshold (default
     {!Qf_exec_pool.Pool.par_threshold}) and on a pool of size > 1, the
     probe side is partitioned across the pool's domains; the merged
-    result is the same set as the sequential path. *)
+    result is the same set as the sequential path.
+
+    [equi] and [semi] accept optional sideways-information-passing
+    reducers: [sip] pairs a probe-side column position with a {!Sip.t}
+    that must {e over-approximate} [b]'s values at the corresponding join
+    column.  Probe rows failing a reducer are skipped before the chain
+    walk; because reducers have no false negatives, the result set is
+    unchanged.  (The anti-join takes no reducers — skipping a probe row
+    there would wrongly {e keep} it.) *)
 
 (** [equi a b pairs] is the equi-join of [a] and [b] on the column pairs
     [(col_of_a, col_of_b)].  The result schema is [a]'s columns followed
@@ -20,6 +28,7 @@
 val equi :
   ?pool:Qf_exec_pool.Pool.t ->
   ?par_threshold:int ->
+  ?sip:(int * Sip.t) list ->
   Relation.t ->
   Relation.t ->
   (string * string) list ->
@@ -30,6 +39,7 @@ val equi :
 val semi :
   ?pool:Qf_exec_pool.Pool.t ->
   ?par_threshold:int ->
+  ?sip:(int * Sip.t) list ->
   Relation.t ->
   Relation.t ->
   (string * string) list ->

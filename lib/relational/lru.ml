@@ -1,0 +1,87 @@
+type 'v entry = {
+  value : 'v;
+  bytes : int;
+  mutable last : int;  (** tick of the most recent find/add *)
+}
+
+type ('k, 'v) t = {
+  table : ('k, 'v entry) Hashtbl.t;
+  mutable budget : int;
+  mutable total : int;
+  mutable tick : int;
+  mutable evicted : int;
+}
+
+let create ~budget =
+  { table = Hashtbl.create 64; budget; total = 0; tick = 0; evicted = 0 }
+
+let budget t = t.budget
+let length t = Hashtbl.length t.table
+let total_bytes t = t.total
+let evictions t = t.evicted
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.total <- 0
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last <- t.tick
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some e ->
+    touch t e;
+    Some e.value
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some e ->
+    Hashtbl.remove t.table k;
+    t.total <- t.total - e.bytes
+
+(* Evict least-recently-used entries until the total fits the budget.
+   The scan is O(n) per eviction — fine at catalog-cache sizes, and the
+   simplicity keeps eviction order an obvious function of the ticks. *)
+let evict_to_budget t =
+  let n = ref 0 in
+  while t.total > t.budget && Hashtbl.length t.table > 0 do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, oldest) when oldest.last <= e.last -> acc
+          | _ -> Some (k, e))
+        t.table None
+    in
+    match victim with
+    | None -> ()
+    | Some (k, _) ->
+      remove t k;
+      incr n
+  done;
+  t.evicted <- t.evicted + !n;
+  !n
+
+let set_budget t budget =
+  t.budget <- budget;
+  if budget = 0 then begin
+    let n = Hashtbl.length t.table in
+    clear t;
+    t.evicted <- t.evicted + n;
+    n
+  end
+  else evict_to_budget t
+
+let add t k v ~bytes =
+  if t.budget = 0 then 0
+  else begin
+    remove t k;
+    let e = { value = v; bytes; last = 0 } in
+    touch t e;
+    Hashtbl.replace t.table k e;
+    t.total <- t.total + bytes;
+    evict_to_budget t
+  end

@@ -368,6 +368,12 @@ let column_values t col =
         end)
       t []
 
+(* Budget accounting for the catalog's LRU caches.  Deliberately a
+   function of (cardinal, arity) only — never of which physical layout
+   happens to be materialized — so cache eviction order, and therefore
+   the memo.evict counters, are identical across layouts. *)
+let approx_bytes t = (16 * (arity t + 2) * cardinal t) + 256
+
 let equal a b =
   arity a = arity b
   && cardinal a = cardinal b

@@ -96,6 +96,12 @@ val diff : t -> t -> t
 (** Distinct values appearing in a column. *)
 val column_values : t -> string -> Value.t list
 
+(** Approximate in-memory size, for the catalog's LRU byte budgets.  A
+    function of cardinality and arity only, never of the materialized
+    layout — so budget-driven eviction behaves identically across
+    layouts. *)
+val approx_bytes : t -> int
+
 (** [equal a b] — same set of tuples (schemas must have equal arity). *)
 val equal : t -> t -> bool
 

@@ -11,6 +11,7 @@
 
 module R = Qf_relational.Relation
 module Catalog = Qf_relational.Catalog
+module Layout = Qf_relational.Layout
 module Pool = Qf_exec_pool.Pool
 open Qf_core
 open Qf_testgen.Testgen
@@ -99,7 +100,7 @@ let test_union_corpus_agrees () =
              threshold)
       in
       let expected = Direct.run cat flock in
-      let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9 } in
+      let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9; sip_reducers = true } in
       match Dynamic.run ~config cat flock with
       | Ok r ->
         if not (R.equal expected r.Dynamic.answers) then
@@ -144,6 +145,55 @@ let test_pool_size_insensitive () =
         rs1 rs2)
     (List.combine sequential parallel)
 
+(* The SIP/memo executor against the unreduced baseline, across physical
+   layouts, pool sizes, and memo budgets (0 disables the memo, a tiny
+   budget forces evictions mid-run, [max_int] is unbounded).  Each
+   configuration runs the levelwise plan twice on the same catalog so the
+   warm run exercises memo hits and the reducer caches. *)
+let test_reduced_equals_unreduced_matrix () =
+  let unreduced =
+    {
+      Plan_exec.semijoin_reduction = false;
+      symmetric_reuse = false;
+      memoize = false;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let rel, threshold = instance_of_seed seed in
+      List.iter
+        (fun layout ->
+          Layout.set_override (Some layout);
+          Fun.protect ~finally:(fun () -> Layout.set_override None)
+          @@ fun () ->
+          List.iter
+            (fun pool_size ->
+              with_pool_size pool_size @@ fun () ->
+              let cat = catalog_of rel in
+              let _, plan =
+                Apriori_gen.levelwise_basket ~pred:"baskets" ~k:3
+                  ~support:threshold
+              in
+              let expected = Plan_exec.run ~options:unreduced cat plan in
+              List.iter
+                (fun budget ->
+                  Catalog.set_memo_budget cat budget;
+                  Catalog.memo_clear cat;
+                  List.iter
+                    (fun pass ->
+                      let got = Plan_exec.run cat plan in
+                      if not (R.equal expected got) then
+                        Alcotest.failf
+                          "seed %d: reduced (layout %s, pool %d, budget %d, \
+                           %s run) disagrees with unreduced"
+                          seed (Layout.to_string layout) pool_size budget
+                          pass)
+                    [ "cold"; "warm" ])
+                [ 0; 2048; max_int ])
+            [ 1; 2; 4 ])
+        [ Layout.Row; Layout.Columnar ])
+    (List.filteri (fun i _ -> i mod 10 = 0) seeds)
+
 let suite =
   [
     Alcotest.test_case "100-seed corpus: all executors = direct" `Slow
@@ -154,4 +204,7 @@ let suite =
       test_union_corpus_agrees;
     Alcotest.test_case "agreement is pool-size insensitive" `Slow
       test_pool_size_insensitive;
+    Alcotest.test_case
+      "sip/memo matrix: reduced = unreduced across layouts/pools/budgets"
+      `Slow test_reduced_equals_unreduced_matrix;
   ]

@@ -30,6 +30,7 @@ let () =
       "parallel", Test_parallel.suite;
       "kernels", Test_kernels.suite;
       "properties", Test_props.suite;
+      "sip", Test_sip.suite;
       "differential", Test_differential.suite;
       "obs", Test_obs.suite;
     ]

@@ -238,7 +238,11 @@ let test_plan_exec_cache_hits () =
   in
   Catalog.reset_index_stats cat;
   let options =
-    { Qf_core.Plan_exec.semijoin_reduction = false; symmetric_reuse = false }
+    {
+      Qf_core.Plan_exec.semijoin_reduction = false;
+      symmetric_reuse = false;
+      memoize = false;
+    }
   in
   ignore (Qf_core.Plan_exec.run ~options cat plan);
   let hits, misses = Catalog.index_stats cat in

@@ -116,7 +116,7 @@ let prop_union_dynamic_equals_direct =
              "QUERY:\nanswer(X) :- p(X,$a)\nanswer(X) :- q(X,$a)\nFILTER:\nCOUNT(answer.X) >= %d"
              threshold)
       in
-      let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9 } in
+      let config = { Dynamic.ratio_factor = 1e9; improvement_factor = 1e9; sip_reducers = true } in
       match Dynamic.run ~config cat flock with
       | Ok r -> R.equal (Direct.run cat flock) r.answers
       | Error e -> QCheck.Test.fail_report e)
@@ -132,13 +132,28 @@ let prop_executor_options_equal =
       | Ok plan ->
         let run options = Plan_exec.run ~options cat plan in
         let base =
-          run { Plan_exec.semijoin_reduction = false; symmetric_reuse = false }
+          run
+            {
+              Plan_exec.semijoin_reduction = false;
+              symmetric_reuse = false;
+              memoize = false;
+            }
         in
         List.for_all
-          (fun (sr, su) ->
+          (fun (sr, su, mz) ->
             R.equal base
-              (run { Plan_exec.semijoin_reduction = sr; symmetric_reuse = su }))
-          [ false, true; true, false; true, true ])
+              (run
+                 {
+                   Plan_exec.semijoin_reduction = sr;
+                   symmetric_reuse = su;
+                   memoize = mz;
+                 }))
+          [
+            false, true, false;
+            true, false, false;
+            true, true, false;
+            true, true, true;
+          ])
 
 let prop_storage_roundtrip =
   QCheck.Test.make ~name:"relations survive the paged store" ~count:40
