@@ -1521,6 +1521,114 @@ let e16 () =
     row "%-26s WARNING: full config below the 1.3x acceptance floor@." "";
   if !json then e16_write_json entries ~pruned_ratio
 
+(* {1 E17: resource-governed spill ablation}
+
+   The same levelwise mining chain under shrinking memory budgets: the
+   unbounded run is the in-memory baseline, the governed runs force the
+   group-by/join kernels through the Grace-style spill paths.  The claim
+   under test is graceful degradation — identical answers at every
+   budget, spilling visible in the governor's stats, and a bounded
+   slowdown (disk pages instead of an OOM kill). *)
+
+module Governor = Qf_governor.Governor
+
+let e17_json_file = "BENCH_spill.json"
+
+type e17_entry = {
+  e17_budget : string;
+  e17_best_s : float;
+  e17_slowdown : float;
+  e17_peak_bytes : int;
+  e17_spill_partitions : int;
+  e17_spilled_rows : int;
+}
+
+let e17_write_json entries =
+  let oc = open_out e17_json_file in
+  let field e =
+    Printf.sprintf
+      {|    { "budget": %S, "best_s": %.6f, "slowdown": %.2f, "peak_bytes": %d, "spill_partitions": %d, "spilled_rows": %d }|}
+      e.e17_budget e.e17_best_s e.e17_slowdown e.e17_peak_bytes
+      e.e17_spill_partitions e.e17_spilled_rows
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"E17\",\n\
+    \  \"quick\": %b,\n\
+    \  \"clock\": \"wall\",\n\
+    \  \"workload\": \"levelwise basket chain k=3 under memory budgets\",\n\
+    \  \"entries\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    !quick
+    (String.concat ",\n" (List.map field entries));
+  close_out oc;
+  row "wrote %s (%d entries)@." e17_json_file (List.length entries)
+
+let e17 () =
+  header "E17" "resource governor: spill-to-disk ablation over memory budgets";
+  let support = 18 in
+  let catalog =
+    Qf_workload.Market.catalog
+      {
+        Qf_workload.Market.n_baskets = (if !quick then 300 else 1000);
+        n_items = 400;
+        avg_basket_size = 8;
+        zipf_exponent = 0.9;
+        seed = 17;
+      }
+  in
+  let _, plan = Apriori_gen.levelwise_basket ~pred:"baskets" ~k:3 ~support in
+  let reps = if !quick then 3 else 5 in
+  let budgets =
+    [ "unbounded", max_int; "1m", 1024 * 1024; "64k", 65536 ]
+  in
+  let run_with budget =
+    let stats = ref None in
+    let result, best =
+      time_best reps (fun () ->
+          (* A memo hit would skip the kernels entirely and no budget
+             could ever trip; every sample executes the plan cold. *)
+          Catalog.memo_clear catalog;
+          let g = Governor.create ~mem_budget:budget () in
+          let r = Governor.with_ctx g (fun () -> Plan_exec.run catalog plan) in
+          stats := Some (Governor.stats g);
+          r)
+    in
+    result, best, Option.get !stats
+  in
+  let baseline_result, baseline_best, baseline_stats = run_with max_int in
+  let entries =
+    List.map
+      (fun (name, budget) ->
+        let result, best, stats =
+          if budget = max_int then
+            baseline_result, baseline_best, baseline_stats
+          else run_with budget
+        in
+        check_equal (Printf.sprintf "E17 %s" name) baseline_result result;
+        row
+          "%-26s best %.4fs  slowdown %.2fx  peak %d bytes  %d spill \
+           partitions (%d rows)@."
+          (Printf.sprintf "budget %s" name)
+          best (best /. baseline_best) stats.Governor.peak_bytes
+          stats.Governor.spill_partitions stats.Governor.spilled_rows;
+        {
+          e17_budget = name;
+          e17_best_s = best;
+          e17_slowdown = best /. baseline_best;
+          e17_peak_bytes = stats.Governor.peak_bytes;
+          e17_spill_partitions = stats.Governor.spill_partitions;
+          e17_spilled_rows = stats.Governor.spilled_rows;
+        })
+      budgets
+  in
+  let governed = List.nth entries 2 in
+  if governed.e17_spill_partitions = 0 then
+    row "%-26s WARNING: the 64k budget never spilled@." "";
+  if !json then e17_write_json entries
+
 (* {1 Driver} *)
 
 let all_experiments =
@@ -1541,6 +1649,7 @@ let all_experiments =
     "E14", e14;
     "E15", e15;
     "E16", e16;
+    "E17", e17;
     "BECHAMEL", bechamel_suite;
   ]
 

@@ -245,6 +245,70 @@ let candidates_cmd =
        ~doc:"List the safe a-priori subqueries of each rule (Sec. 3)")
     Term.(const run $ flock_file)
 
+(* {1 The resource governor's arguments (explain --profile and mine)} *)
+
+module Governor = Qf_governor.Governor
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline in seconds.  The evaluator is interrupted \
+           cooperatively at its next checkpoint and $(b,flockc) exits with \
+           status 124.  Defaults to $(b,QF_TIMEOUT) when set.")
+
+let mem_budget_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Memory budget: plain bytes, a $(b,k)/$(b,m)/$(b,g) suffix, or \
+           $(b,unbounded).  Join and group-by kernels spill to temp files \
+           when the budget trips; if even spilling cannot fit, $(b,flockc) \
+           exits with status 125.  Defaults to $(b,QF_MEM_BUDGET) when set.")
+
+let make_governor ~timeout ~mem_budget =
+  let budget =
+    match mem_budget with
+    | Some s -> (
+      match Governor.budget_of_string s with
+      | Some b -> Ok (Some b)
+      | None ->
+        Error
+          (Printf.sprintf
+             "--mem-budget %S: expected bytes with an optional k/m/g suffix, \
+              or \"unbounded\""
+             s))
+    | None ->
+      Ok (Option.bind (Sys.getenv_opt "QF_MEM_BUDGET") Governor.budget_of_string)
+  in
+  let timeout =
+    match timeout with
+    | Some _ -> timeout
+    | None -> Option.bind (Sys.getenv_opt "QF_TIMEOUT") float_of_string_opt
+  in
+  Result.map
+    (fun b -> Governor.create ?mem_budget:b ?timeout_s:timeout ())
+    budget
+
+(* Resource faults become the conventional shell exit codes: 124 for a
+   deadline (mirroring timeout(1)), 125 for an unsatisfiable budget. *)
+let governed ~context f =
+  try f () with
+  | Governor.Deadline_exceeded { timeout; _ } ->
+    Printf.eprintf "flockc: %s: deadline exceeded (timeout %gs)\n" context
+      timeout;
+    exit 124
+  | Governor.Over_budget { requested; budget; _ } ->
+    Printf.eprintf
+      "flockc: %s: memory budget exceeded (requested %d bytes against budget \
+       %d)\n"
+      context requested budget;
+    exit 125
+
 (* {1 explain} *)
 
 let profile_arg =
@@ -272,7 +336,7 @@ let redact_timings_arg =
            output is byte-stable across runs (for golden tests).")
 
 let explain_cmd =
-  let run path data db profile json redact =
+  let run path data db profile json redact timeout mem_budget =
     let program = or_die (load_program path) in
     let flock = program.Parse.flock in
     let catalog = or_die (prepare (or_die (load_catalog ?db data)) program) in
@@ -300,7 +364,17 @@ let explain_cmd =
         exit 1
       | best :: _ ->
         let clamps = clamp best.Optimizer.plan in
-        let p = Explain.profile ~clamps catalog best.Optimizer.plan in
+        (* A governor is installed only when asked for, so ungoverned
+           profiles keep their exact historical output. *)
+        let governor =
+          match timeout, mem_budget with
+          | None, None -> None
+          | _ -> Some (or_die (make_governor ~timeout ~mem_budget))
+        in
+        let p =
+          governed ~context:"explain" @@ fun () ->
+          Explain.profile ~clamps ?governor catalog best.Optimizer.plan
+        in
         if json then print_string (Explain.profile_json ~redact_timings:redact p)
         else begin
           Format.printf "@.";
@@ -312,10 +386,12 @@ let explain_cmd =
        ~doc:
          "Enumerate and cost candidate plans against the data (Sec. 4.3); \
           with $(b,--profile), run the chosen plan and report observed \
-          per-step cardinalities and timings next to the estimates")
+          per-step cardinalities and timings next to the estimates; with \
+          $(b,--mem-budget) or $(b,--timeout), run it under the resource \
+          governor and report peak bytes and spill volume")
     Term.(
       const run $ flock_file $ data_arg $ db_arg $ profile_arg $ json_arg
-      $ redact_timings_arg)
+      $ redact_timings_arg $ timeout_arg $ mem_budget_arg)
 
 (* {1 run} *)
 
@@ -356,6 +432,50 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a flock against CSV data; print result CSV")
     Term.(const run $ flock_file $ data_arg $ db_arg $ mode_arg $ verbose_arg)
+
+(* {1 mine: governed evaluation} *)
+
+let mine_cmd =
+  let run path data db mode verbose timeout mem_budget =
+    setup_logs verbose;
+    let program = or_die (load_program path) in
+    let flock = program.Parse.flock in
+    let catalog = or_die (prepare (or_die (load_catalog ?db data)) program) in
+    let g = or_die (make_governor ~timeout ~mem_budget) in
+    let result =
+      governed ~context:"mine" @@ fun () ->
+      Governor.with_ctx g @@ fun () ->
+      match mode with
+      | `Direct -> Direct.run catalog flock
+      | `Plan -> Plan_exec.run catalog (Optimizer.optimize catalog flock)
+      | `Dynamic -> (
+        match Dynamic.run catalog flock with
+        | Ok r -> r.answers
+        | Error e ->
+          prerr_endline ("flockc: dynamic: " ^ e ^ "; falling back to direct");
+          Direct.run catalog flock)
+      | `Naive -> Naive.run catalog flock
+    in
+    print_string (Qf_relational.Csv.to_string result);
+    if verbose then begin
+      let s = Governor.stats g in
+      Format.eprintf
+        "flockc: mine: peak %d bytes, %d spill partitions (%d rows, %d \
+         bytes)@."
+        s.peak_bytes s.spill_partitions s.spilled_rows s.spilled_bytes
+    end
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:
+         "Evaluate a flock under a resource governor: a byte-accounted \
+          memory budget (spilling joins and group-bys to disk when it \
+          trips) and a wall-clock deadline with cooperative cancellation. \
+          Exit status: 124 deadline exceeded, 125 budget unsatisfiable \
+          even after spilling.")
+    Term.(
+      const run $ flock_file $ data_arg $ db_arg $ mode_arg $ verbose_arg
+      $ timeout_arg $ mem_budget_arg)
 
 (* {1 sql} *)
 
@@ -482,4 +602,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "flockc" ~version:"1.0.0" ~doc)
-          [ check_cmd; lint_cmd; candidates_cmd; explain_cmd; run_cmd; sql_cmd; import_cmd; rules_cmd; maximal_cmd ]))
+          [ check_cmd; lint_cmd; candidates_cmd; explain_cmd; run_cmd; mine_cmd; sql_cmd; import_cmd; rules_cmd; maximal_cmd ]))

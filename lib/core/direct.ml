@@ -6,6 +6,7 @@ module Obs = Qf_obs.Obs
 let tabulate catalog (flock : Flock.t) = Eval.tabulate_query catalog flock.query
 
 let run catalog (flock : Flock.t) =
+  Qf_governor.Governor.check ();
   let compute () =
     let tab = tabulate catalog flock in
     let func =

@@ -72,6 +72,7 @@ let walk_rule config catalog rule ~sip ~head_keys ~head_columns ~func ~keep =
   let best_ratio : (string list, float) Hashtbl.t = Hashtbl.create 8 in
   let threshold_hint = ref infinity in
   let step (envs, trace) lit =
+    Qf_governor.Governor.check ();
     let envs =
       match lit with
       | Ast.Pos a -> Eval.Envs.extend_pos ~sip catalog envs a

@@ -55,9 +55,10 @@ type profile = {
   result_rows : int;
   total_seconds : float;
   counters : (string * int) list;
+  governor : Qf_governor.Governor.stats option;
 }
 
-let profile ?options ?(clamps = []) catalog (plan : Plan.t) =
+let profile ?options ?(clamps = []) ?governor catalog (plan : Plan.t) =
   let was = Obs.enabled () in
   Obs.set_enabled true;
   Obs.reset ();
@@ -65,7 +66,12 @@ let profile ?options ?(clamps = []) catalog (plan : Plan.t) =
     ~finally:(fun () -> Obs.set_enabled was)
     (fun () ->
       let t0 = Obs.now () in
-      let report = Plan_exec.run_with_report ?options catalog plan in
+      let report =
+        let run () = Plan_exec.run_with_report ?options catalog plan in
+        match governor with
+        | None -> run ()
+        | Some g -> Qf_governor.Governor.with_ctx g run
+      in
       let total_seconds = Obs.now () -. t0 in
       let obs = Obs.report () in
       let estimates =
@@ -116,6 +122,7 @@ let profile ?options ?(clamps = []) catalog (plan : Plan.t) =
           Qf_relational.Relation.cardinal report.Plan_exec.result;
         total_seconds;
         counters;
+        governor = Option.map Qf_governor.Governor.stats governor;
       })
 
 let profile_text ?(redact_timings = false) (p : profile) =
@@ -170,6 +177,16 @@ let profile_text ?(redact_timings = false) (p : profile) =
   Buffer.add_string buf
     (Printf.sprintf "\nresult rows: %d\ntotal time_s: %s\n" p.result_rows
        (time p.total_seconds));
+  (* Governed profiles carry one extra summary line; ungoverned output
+     stays byte-identical to the pre-governor format. *)
+  (match p.governor with
+  | None -> ()
+  | Some (g : Qf_governor.Governor.stats) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "governor: peak_bytes=%d spill_partitions=%d spilled_bytes=%d \
+          spilled_rows=%d\n"
+         g.peak_bytes g.spill_partitions g.spilled_bytes g.spilled_rows));
   if p.counters <> [] then begin
     Buffer.add_string buf "\ncounters:\n";
     List.iter
@@ -241,6 +258,14 @@ let profile_json ?(redact_timings = false) (p : profile) =
     (Printf.sprintf "  \"result_rows\": %d,\n" p.result_rows);
   Buffer.add_string buf
     (Printf.sprintf "  \"total_seconds\": %s,\n" (time p.total_seconds));
+  (match p.governor with
+  | None -> ()
+  | Some (g : Qf_governor.Governor.stats) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"governor\": {\"peak_bytes\": %d, \"spill_partitions\": %d, \
+          \"spilled_bytes\": %d, \"spilled_rows\": %d},\n"
+         g.peak_bytes g.spill_partitions g.spilled_bytes g.spilled_rows));
   Buffer.add_string buf "  \"counters\": {";
   Buffer.add_string buf
     (String.concat ", "

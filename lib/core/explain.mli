@@ -46,6 +46,9 @@ type profile = {
   total_seconds : float;
   counters : (string * int) list;
       (** sorted by name; machine-dependent ["pool."] metrics excluded *)
+  governor : Qf_governor.Governor.stats option;
+      (** resource accounting of the governed run; [None] when the run
+          was ungoverned (the profile then renders exactly as before) *)
 }
 
 (** Run [plan] with {!Qf_obs.Obs} enabled (restoring the previous enabled
@@ -55,10 +58,15 @@ type profile = {
     [(groups, rows)] bounds (from [Qf_analysis.Absint.clamps_of_plan]):
     estimates are clamped to [min(estimate, bound)] and the bounds are
     reported alongside them; without [clamps] the profile is identical to
-    the unclamped format (no bound columns/fields). *)
+    the unclamped format (no bound columns/fields).  [governor] installs
+    the given governor around the run ({!Qf_governor.Governor.with_ctx})
+    and reports its {!Qf_governor.Governor.stats} — peak bytes, spill
+    partitions/bytes/rows — in the profile; resource faults
+    ([Over_budget], [Deadline_exceeded]) propagate to the caller. *)
 val profile :
   ?options:Plan_exec.options ->
   ?clamps:(string * (float * float)) list ->
+  ?governor:Qf_governor.Governor.t ->
   Qf_relational.Catalog.t ->
   Plan.t ->
   profile

@@ -63,6 +63,7 @@ let run ?(max_assignments = 2_000_000) catalog (flock : Flock.t) =
   let func = Filter.to_aggregate flock.filter ~head_columns in
   let rec assign acc = function
     | [] ->
+      Qf_governor.Governor.check ();
       let bindings = List.rev acc in
       let answer =
         List.fold_left

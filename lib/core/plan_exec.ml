@@ -319,6 +319,9 @@ let run_with_report ?(options = default_options) catalog (plan : Plan.t) =
      (id, version) pair flows into the signatures of this plan's later
      steps and an entire plan prefix can cascade into hits. *)
   let exec_step ~executed ~defined (s : Plan.step) =
+    (* Step boundaries are the plan executor's cancellation checkpoints:
+       a governed deadline interrupts a plan between steps. *)
+    Qf_governor.Governor.check ();
     match
       if options.symmetric_reuse then find_symmetric_twin executed s
       else None

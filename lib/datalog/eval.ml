@@ -687,6 +687,10 @@ let run_body ?sip catalog (r : Ast.rule) =
   let ordered = order_body catalog r in
   List.fold_left
     (fun envs lit ->
+      (* Literal boundaries are the evaluator's cancellation checkpoints:
+         a governed deadline interrupts a rule between joins (one atomic
+         load per literal when ungoverned). *)
+      Qf_governor.Governor.check ();
       match lit with
       | Ast.Pos a -> Envs.extend_pos ?sip catalog envs a
       | Ast.Neg a -> Envs.filter_neg catalog envs a
@@ -773,6 +777,7 @@ let tabulate_query ?sip catalog (q : Ast.query) =
     let acc = tabulate ?sip catalog first in
     List.fold_left
       (fun acc r ->
+        Qf_governor.Governor.check ();
         let next = tabulate ?sip catalog r in
         (* Positional rename: arities agree by wf_query. *)
         Relation.fold (fun tup () -> Relation.add acc tup) next ();

@@ -190,6 +190,13 @@ let run_chunks t ~n f =
         Qf_obs.Obs.timed "pool.chunk" (fun () -> f ~lo ~hi)
       else f
     in
+    (* Chunk boundaries are the pool's cancellation checkpoints: a
+       governed query's deadline or cancellation interrupts a fan-out
+       between chunks (one atomic load per chunk when ungoverned). *)
+    let f ~lo ~hi =
+      Qf_governor.Governor.check ();
+      f ~lo ~hi
+    in
     let size = if t.size = 1 then 1 else t.size * chunk_factor in
     run_all t
       (List.map (fun (lo, hi) -> fun () -> f ~lo ~hi) (chunks_of ~size ~n))

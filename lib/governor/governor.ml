@@ -1,0 +1,241 @@
+module Obs = Qf_obs.Obs
+
+exception Over_budget of { requested : int; used : int; budget : int }
+exception Deadline_exceeded of { elapsed : float; timeout : float }
+exception Cancelled
+
+type stats = {
+  peak_bytes : int;
+  spill_partitions : int;
+  spilled_bytes : int;
+  spilled_rows : int;
+}
+
+type t = {
+  budget : int;
+  timeout : float option;
+  mutable started : float;
+  mutable deadline : float;  (** absolute; [infinity] without a timeout *)
+  used : int Atomic.t;
+  peak : int Atomic.t;
+  spill_partitions : int Atomic.t;
+  spilled_bytes : int Atomic.t;
+  spilled_rows : int Atomic.t;
+  cancelled : bool Atomic.t;
+  seq : int;  (** distinguishes spill dirs of governors in one process *)
+  dir : string option Atomic.t;
+  dir_mutex : Mutex.t;
+  file_seq : int Atomic.t;
+}
+
+let seq_counter = Atomic.make 0
+
+let create ?(mem_budget = max_int) ?timeout_s () =
+  if mem_budget < 0 then invalid_arg "Governor.create: negative budget";
+  (match timeout_s with
+  | Some s when s < 0. -> invalid_arg "Governor.create: negative timeout"
+  | _ -> ());
+  {
+    budget = mem_budget;
+    timeout = timeout_s;
+    started = 0.;
+    deadline = infinity;
+    used = Atomic.make 0;
+    peak = Atomic.make 0;
+    spill_partitions = Atomic.make 0;
+    spilled_bytes = Atomic.make 0;
+    spilled_rows = Atomic.make 0;
+    cancelled = Atomic.make false;
+    seq = Atomic.fetch_and_add seq_counter 1;
+    dir = Atomic.make None;
+    dir_mutex = Mutex.create ();
+    file_seq = Atomic.make 0;
+  }
+
+(* Same syntax as [Catalog.budget_of_env]: bytes, k/m/g suffixes,
+   "unbounded"/"inf". *)
+let budget_of_string raw =
+  let raw = String.trim raw in
+  match String.lowercase_ascii raw with
+  | "unbounded" | "inf" -> Some max_int
+  | "" -> None
+  | s -> (
+    let scale, digits =
+      match s.[String.length s - 1] with
+      | 'k' -> 1024, String.sub s 0 (String.length s - 1)
+      | 'm' -> 1024 * 1024, String.sub s 0 (String.length s - 1)
+      | 'g' -> 1024 * 1024 * 1024, String.sub s 0 (String.length s - 1)
+      | _ -> 1, s
+    in
+    match int_of_string_opt digits with
+    | Some n when n >= 0 -> Some (n * scale)
+    | Some _ | None -> None)
+
+let of_env () =
+  let budget =
+    match Sys.getenv_opt "QF_MEM_BUDGET" with
+    | None -> None
+    | Some raw -> budget_of_string raw
+  in
+  let timeout =
+    match Sys.getenv_opt "QF_TIMEOUT" with
+    | None -> None
+    | Some raw -> (
+      match float_of_string_opt (String.trim raw) with
+      | Some s when s >= 0. -> Some s
+      | Some _ | None -> None)
+  in
+  match budget, timeout with
+  | None, None -> None
+  | _ ->
+    Some (create ?mem_budget:budget ?timeout_s:timeout ())
+
+let budget g = g.budget
+let used g = Atomic.get g.used
+
+let stats g =
+  {
+    peak_bytes = Atomic.get g.peak;
+    spill_partitions = Atomic.get g.spill_partitions;
+    spilled_bytes = Atomic.get g.spilled_bytes;
+    spilled_rows = Atomic.get g.spilled_rows;
+  }
+
+let cancel g = Atomic.set g.cancelled true
+
+(* {1 The ambient governor} *)
+
+let ambient : t option Atomic.t = Atomic.make None
+
+let current () = Atomic.get ambient
+
+(* {1 Checkpoints} *)
+
+let check_in g =
+  Fault.point "governor.check";
+  if Atomic.get g.cancelled then begin
+    if Obs.enabled () then Obs.count "governor.cancelled" 1;
+    raise Cancelled
+  end;
+  if g.deadline < infinity then begin
+    let now = Unix.gettimeofday () in
+    if now > g.deadline then begin
+      if Obs.enabled () then Obs.count "governor.deadline_exceeded" 1;
+      raise
+        (Deadline_exceeded
+           {
+             elapsed = now -. g.started;
+             timeout = Option.value g.timeout ~default:0.;
+           })
+    end
+  end
+
+let check () =
+  match Atomic.get ambient with None -> () | Some g -> check_in g
+
+(* {1 Byte accounting} *)
+
+let rec bump_peak g u =
+  let p = Atomic.get g.peak in
+  if u > p && not (Atomic.compare_and_set g.peak p u) then bump_peak g u
+
+let try_charge g n =
+  Fault.point "governor.charge";
+  let u = Atomic.fetch_and_add g.used n + n in
+  if u > g.budget then begin
+    ignore (Atomic.fetch_and_add g.used (-n));
+    false
+  end
+  else begin
+    bump_peak g u;
+    true
+  end
+
+let charge g n =
+  if not (try_charge g n) then begin
+    if Obs.enabled () then Obs.count "governor.over_budget" 1;
+    raise (Over_budget { requested = n; used = Atomic.get g.used; budget = g.budget })
+  end
+
+let release g n = ignore (Atomic.fetch_and_add g.used (-n))
+
+let note_spill g ~partitions ~bytes ~rows =
+  ignore (Atomic.fetch_and_add g.spill_partitions partitions);
+  ignore (Atomic.fetch_and_add g.spilled_bytes bytes);
+  ignore (Atomic.fetch_and_add g.spilled_rows rows);
+  if Obs.enabled () then begin
+    Obs.count "governor.spill.partitions" partitions;
+    Obs.count "governor.spill.bytes" bytes;
+    Obs.count "governor.spill.rows" rows
+  end
+
+(* {1 Spill directory lifecycle} *)
+
+let spill_dir g =
+  match Atomic.get g.dir with
+  | Some d -> d
+  | None ->
+    Mutex.lock g.dir_mutex;
+    let d =
+      match Atomic.get g.dir with
+      | Some d -> d
+      | None ->
+        let d =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "qf_spill.%d.%d" (Unix.getpid ()) g.seq)
+        in
+        (try Unix.mkdir d 0o700
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Atomic.set g.dir (Some d);
+        d
+    in
+    Mutex.unlock g.dir_mutex;
+    d
+
+let fresh_spill_path g =
+  Filename.concat (spill_dir g)
+    (Printf.sprintf "part.%d.qfs" (Atomic.fetch_and_add g.file_seq 1))
+
+(* Best-effort recursive removal: runs inside [with_ctx]'s finally, so it
+   must never raise (the original result or exception wins). *)
+let cleanup g =
+  match Atomic.get g.dir with
+  | None -> ()
+  | Some d ->
+    Atomic.set g.dir None;
+    (match Sys.readdir d with
+    | entries ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+        entries
+    | exception Sys_error _ -> ());
+    (try Unix.rmdir d with Unix.Unix_error _ -> ())
+
+let with_ctx g f =
+  let prev = Atomic.get ambient in
+  g.started <- Unix.gettimeofday ();
+  g.deadline <-
+    (match g.timeout with Some s -> g.started +. s | None -> infinity);
+  Atomic.set ambient (Some g);
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set ambient prev;
+      cleanup g;
+      if Obs.enabled () then
+        Obs.gauge_max "governor.peak_bytes" (float_of_int (Atomic.get g.peak)))
+    f
+
+let () =
+  Printexc.register_printer (function
+    | Over_budget { requested; used; budget } ->
+      Some
+        (Printf.sprintf
+           "Governor.Over_budget(requested %d, used %d, budget %d)" requested
+           used budget)
+    | Deadline_exceeded { elapsed; timeout } ->
+      Some
+        (Printf.sprintf "Governor.Deadline_exceeded(%.3fs elapsed, %gs timeout)"
+           elapsed timeout)
+    | Cancelled -> Some "Governor.Cancelled"
+    | _ -> None)

@@ -1,6 +1,7 @@
 module Pool = Qf_exec_pool.Pool
 module Obs = Qf_obs.Obs
 module Buf = Chunkrel.Buf
+module Governor = Qf_governor.Governor
 
 type func =
   | Count
@@ -317,11 +318,56 @@ let group_by_cols ?pool ?par_threshold rel ~keys ~func =
           key, aggs.(g)))
     per_part
 
+(* {1 Spilling group-by}
+
+   Under a governed budget too small for the in-memory group table, rows
+   hash-partition by their group key into temp heap-file runs, then each
+   partition aggregates independently under a per-partition charge.
+   Equal keys land in the same partition, so per-partition group lists
+   concatenate into exactly the in-memory result — no cross-partition
+   merge is ever needed. *)
+let spill_group_by g rel ~keys ~func =
+  let schema = Relation.schema rel in
+  let key_positions =
+    Array.of_list (List.map (Schema.position schema) keys)
+  in
+  let need = 2 * Relation.approx_bytes rel in
+  let parts = Spill.partition_count g ~need in
+  let runs = Spill.partition_by_key g rel ~positions:key_positions ~parts in
+  Fun.protect ~finally:(fun () -> Array.iter Spill.discard runs)
+  @@ fun () ->
+  Spill.note_runs g runs;
+  let out = ref [] in
+  Array.iter
+    (fun run ->
+      Governor.check ();
+      let part = Spill.to_relation run in
+      let cost = 2 * Relation.approx_bytes part in
+      Governor.charge g cost;
+      Fun.protect ~finally:(fun () -> Governor.release g cost) @@ fun () ->
+      let idx = Index.build_on part keys in
+      Index.iter_groups
+        (fun key tuples -> out := (key, eval func schema tuples) :: !out)
+        idx)
+    runs;
+  !out
+
 let group_by ?pool ?par_threshold rel ~keys ~func =
-  let compute () =
+  Governor.check ();
+  let in_memory () =
     match Layout.mode () with
     | Layout.Row -> group_by_rows ?pool ?par_threshold rel ~keys ~func
     | Layout.Columnar -> group_by_cols ?pool ?par_threshold rel ~keys ~func
+  in
+  let compute () =
+    (* The group table holds every distinct key plus its tuple list;
+       charge roughly twice the input, spill when it does not fit. *)
+    Spill.governed
+      ~need:(2 * Relation.approx_bytes rel)
+      in_memory
+      (fun g ->
+        if Obs.enabled () then Obs.count "governor.spill.groups" 1;
+        spill_group_by g rel ~keys ~func)
   in
   if not (Obs.enabled ()) then compute ()
   else
@@ -402,11 +448,41 @@ let group_filter_cols ?pool ?par_threshold rel ~keys ~func ~threshold =
   in
   out, candidates
 
+(* Spilling FILTER (columnar layout's fallback): group via the spill
+   path, then threshold-filter the group list.  The nested group-by span
+   mirrors the in-memory paths' exactly, so governed profiled runs stay
+   layout-insensitive. *)
+let spill_group_filter g rel ~keys ~func ~threshold =
+  let grouping () = spill_group_by g rel ~keys ~func in
+  let groups =
+    if not (Obs.enabled ()) then grouping ()
+    else
+      Obs.with_span "aggregate.group_by"
+        ~attrs:[ "rows_in", Obs.Int (Relation.cardinal rel) ]
+        (fun () ->
+          let groups = grouping () in
+          Obs.set_attr "groups_out" (Obs.Int (List.length groups));
+          groups)
+  in
+  let out = Relation.create (Schema.restrict (Relation.schema rel) keys) in
+  List.iter
+    (fun (key, v) ->
+      if numeric_exn "group_filter" v >= threshold then Relation.add out key)
+    groups;
+  out, List.length groups
+
 let group_filter_report ?pool ?par_threshold rel ~keys ~func ~threshold =
+  Governor.check ();
   let compute () =
     match Layout.mode () with
     | Layout.Columnar ->
-      group_filter_cols ?pool ?par_threshold rel ~keys ~func ~threshold
+      Spill.governed
+        ~need:(2 * Relation.approx_bytes rel)
+        (fun () ->
+          group_filter_cols ?pool ?par_threshold rel ~keys ~func ~threshold)
+        (fun g ->
+          if Obs.enabled () then Obs.count "governor.spill.groups" 1;
+          spill_group_filter g rel ~keys ~func ~threshold)
     | Layout.Row ->
       let groups = group_by ?pool ?par_threshold rel ~keys ~func in
       let out =

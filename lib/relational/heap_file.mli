@@ -9,29 +9,35 @@ type t
 (** Create a new heap file at [path] storing relations of the given schema.
     Truncates any existing file.  Raises [Failure] if the schema record
     exceeds a page. *)
-val create : ?capacity:int -> string -> Qf_relational.Schema.t -> t
+val create : ?capacity:int -> string -> Schema.t -> t
 
 (** Open an existing heap file; reads the schema from the header page. *)
 val open_existing : ?capacity:int -> string -> t
 
-val schema : t -> Qf_relational.Schema.t
+val schema : t -> Schema.t
 
 (** Append one tuple.  Raises [Invalid_argument] on arity mismatch or a
     record larger than a page. *)
-val append : t -> Qf_relational.Tuple.t -> unit
+val append : t -> Tuple.t -> unit
 
 (** Scan every record in storage order. *)
-val iter : (Qf_relational.Tuple.t -> unit) -> t -> unit
+val iter : (Tuple.t -> unit) -> t -> unit
 
 (** Materialize the whole file as an in-memory relation (set semantics:
     duplicates stored on disk collapse). *)
-val to_relation : t -> Qf_relational.Relation.t
+val to_relation : t -> Relation.t
 
 (** Append every tuple of a relation. *)
-val append_relation : t -> Qf_relational.Relation.t -> unit
+val append_relation : t -> Relation.t -> unit
 
 (** Pager cache statistics: (hits, misses, evictions). *)
 val cache_stats : t -> int * int * int
 
+(** Pages in the file, header included. *)
+val page_count : t -> int
+
 val flush : t -> unit
 val close : t -> unit
+
+(** Close without flushing — for spill runs about to be deleted. *)
+val discard : t -> unit

@@ -1,6 +1,7 @@
 module Pool = Qf_exec_pool.Pool
 module Obs = Qf_obs.Obs
 module Buf = Chunkrel.Buf
+module Governor = Qf_governor.Governor
 
 (* Span wrapper shared by the three join kinds: probe/build sizes up
    front, output size on completion.  The disabled path costs one atomic
@@ -223,18 +224,75 @@ let equi_rows ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema =
     List.iter (List.iter (Relation.add out)) produced);
   out
 
+(* {1 Grace-style spilling equi-join}
+
+   When the governed budget cannot hold the in-memory build index, both
+   sides hash-partition by their join-key into temp heap-file runs
+   (equal keys land in the same partition index on both sides), and each
+   partition pair joins in memory under a per-partition charge.  Results
+   are identical to the in-memory paths: partitions are disjoint by key,
+   and set semantics dedups as usual.  SIP prechecks are skipped here —
+   they only prune probe rows that cannot match, so the output is
+   unchanged either way. *)
+let spill_equi g a b pos_a pos_b residual out_schema =
+  let sb = Relation.schema b in
+  let residual_pos =
+    Array.of_list (List.map (fun (c, _) -> Schema.position sb c) residual)
+  in
+  let out = Relation.create out_schema in
+  let need = Relation.approx_bytes a + (2 * Relation.approx_bytes b) in
+  let parts = Spill.partition_count g ~need in
+  let runs_a = Spill.partition_by_key g a ~positions:pos_a ~parts in
+  Fun.protect ~finally:(fun () -> Array.iter Spill.discard runs_a)
+  @@ fun () ->
+  let runs_b = Spill.partition_by_key g b ~positions:pos_b ~parts in
+  Fun.protect ~finally:(fun () -> Array.iter Spill.discard runs_b)
+  @@ fun () ->
+  Spill.note_runs g runs_a;
+  Spill.note_runs g runs_b;
+  for i = 0 to parts - 1 do
+    Governor.check ();
+    let pa = Spill.to_relation runs_a.(i) in
+    let pb = Spill.to_relation runs_b.(i) in
+    let cost = Relation.approx_bytes pa + (2 * Relation.approx_bytes pb) in
+    Governor.charge g cost;
+    Fun.protect ~finally:(fun () -> Governor.release g cost) @@ fun () ->
+    let idx = Index.build pb (Array.to_list pos_b) in
+    Relation.iter
+      (fun ta ->
+        let key = Tuple.project pos_a ta in
+        List.iter
+          (fun tb ->
+            Relation.add out (Tuple.append ta (Tuple.project residual_pos tb)))
+          (Index.lookup idx key))
+      pa
+  done;
+  out
+
 let equi ?pool ?par_threshold ?(sip = []) a b pairs =
   observed "join.equi" a b @@ fun () ->
+  Governor.check ();
   let pos_a, pos_b = positions_of_pairs a b pairs in
   let residual = residual_columns a b pairs in
   let out_schema =
     Schema.of_list (Schema.columns (Relation.schema a) @ List.map snd residual)
   in
-  match Layout.mode () with
-  | Layout.Columnar ->
-    equi_cols ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema
-  | Layout.Row ->
-    equi_rows ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema
+  let in_memory () =
+    match Layout.mode () with
+    | Layout.Columnar ->
+      equi_cols ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema
+    | Layout.Row ->
+      equi_rows ?pool ?par_threshold ~sip a b pos_a pos_b residual out_schema
+  in
+  (* The build-side index (plus the probe pairs) is what an in-memory
+     equi-join holds beyond its inputs; charge that, spill when it does
+     not fit. *)
+  Spill.governed
+    ~need:(2 * Relation.approx_bytes b)
+    in_memory
+    (fun g ->
+      if Obs.enabled () then Obs.count "governor.spill.joins" 1;
+      spill_equi g a b pos_a pos_b residual out_schema)
 
 (* {1 Semi/anti joins} — membership filters over the probe side. *)
 
@@ -283,8 +341,10 @@ let filter_by_presence ?pool ?par_threshold ?(sip = []) ~keep_matching a b
 
 let semi ?pool ?par_threshold ?sip a b pairs =
   observed "join.semi" a b @@ fun () ->
+  Governor.check ();
   filter_by_presence ?pool ?par_threshold ?sip ~keep_matching:true a b pairs
 
 let anti ?pool ?par_threshold a b pairs =
   observed "join.anti" a b @@ fun () ->
+  Governor.check ();
   filter_by_presence ?pool ?par_threshold ~keep_matching:false a b pairs

@@ -30,3 +30,8 @@ val stats : t -> int * int * int
 
 val flush : t -> unit
 val close : t -> unit
+
+(** Close both channels {e without} flushing dirty pages — for files
+    about to be deleted (spill runs), where flushing would only risk
+    raising from a cleanup path. *)
+val discard : t -> unit

@@ -1,107 +1,3 @@
-module Value = Qf_relational.Value
-module Tuple = Qf_relational.Tuple
-module Schema = Qf_relational.Schema
-
-let corrupt fmt = Format.kasprintf failwith fmt
-
-let encode_int64 buf x =
-  for i = 0 to 7 do
-    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical x (8 * i)) land 0xFF))
-  done
-
-let decode_int64 bytes off =
-  if off + 8 > Bytes.length bytes then corrupt "Codec: truncated int64";
-  let x = ref 0L in
-  for i = 7 downto 0 do
-    x := Int64.logor (Int64.shift_left !x 8)
-           (Int64.of_int (Char.code (Bytes.get bytes (off + i))))
-  done;
-  !x, off + 8
-
-let encode_u32 buf x =
-  for i = 0 to 3 do
-    Buffer.add_char buf (Char.chr ((x lsr (8 * i)) land 0xFF))
-  done
-
-let decode_u32 bytes off =
-  if off + 4 > Bytes.length bytes then corrupt "Codec: truncated u32";
-  let x = ref 0 in
-  for i = 3 downto 0 do
-    x := (!x lsl 8) lor Char.code (Bytes.get bytes (off + i))
-  done;
-  !x, off + 4
-
-let encode_u16 buf x =
-  Buffer.add_char buf (Char.chr (x land 0xFF));
-  Buffer.add_char buf (Char.chr ((x lsr 8) land 0xFF))
-
-let decode_u16 bytes off =
-  if off + 2 > Bytes.length bytes then corrupt "Codec: truncated u16";
-  let lo = Char.code (Bytes.get bytes off) in
-  let hi = Char.code (Bytes.get bytes (off + 1)) in
-  (hi lsl 8) lor lo, off + 2
-
-let encode_value buf = function
-  | Value.Int i ->
-    Buffer.add_char buf '\000';
-    encode_int64 buf (Int64.of_int i)
-  | Value.Real f ->
-    Buffer.add_char buf '\001';
-    encode_int64 buf (Int64.bits_of_float f)
-  | Value.Str s ->
-    Buffer.add_char buf '\002';
-    encode_u32 buf (String.length s);
-    Buffer.add_string buf s
-
-let decode_value bytes off =
-  if off >= Bytes.length bytes then corrupt "Codec: truncated value tag";
-  match Bytes.get bytes off with
-  | '\000' ->
-    let x, off = decode_int64 bytes (off + 1) in
-    Value.Int (Int64.to_int x), off
-  | '\001' ->
-    let x, off = decode_int64 bytes (off + 1) in
-    Value.Real (Int64.float_of_bits x), off
-  | '\002' ->
-    let len, off = decode_u32 bytes (off + 1) in
-    if off + len > Bytes.length bytes then corrupt "Codec: truncated string";
-    (* Intern on decode: loaded relations get pointer-fast equality. *)
-    Value.str (Bytes.sub_string bytes off len), off + len
-  | c -> corrupt "Codec: bad value tag %C" c
-
-let encode_tuple buf tup =
-  encode_u16 buf (Tuple.arity tup);
-  Seq.iter (encode_value buf) (Tuple.to_seq tup)
-
-let decode_tuple bytes off =
-  let arity, off = decode_u16 bytes off in
-  let values = Array.make arity (Value.Int 0) in
-  let off = ref off in
-  for i = 0 to arity - 1 do
-    let v, next = decode_value bytes !off in
-    values.(i) <- v;
-    off := next
-  done;
-  Tuple.of_array values, !off
-
-let tuple_to_string tup =
-  let buf = Buffer.create 64 in
-  encode_tuple buf tup;
-  Buffer.contents buf
-
-let tuple_of_string s =
-  let tup, off = decode_tuple (Bytes.of_string s) 0 in
-  if off <> String.length s then corrupt "Codec: trailing bytes after tuple";
-  tup
-
-let schema_to_string schema =
-  tuple_to_string
-    (Tuple.of_list (List.map (fun c -> Value.Str c) (Schema.columns schema)))
-
-let schema_of_string s =
-  Schema.of_list
-    (List.map
-       (function
-         | Value.Str c -> c
-         | v -> corrupt "Codec: bad schema entry %s" (Value.to_string v))
-       (Tuple.to_list (tuple_of_string s)))
+(* The binary codec moved into [qf_relational] (spill kernels need it);
+   re-exported here for the storage API's users. *)
+include Qf_relational.Codec

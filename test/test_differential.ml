@@ -194,6 +194,55 @@ let test_reduced_equals_unreduced_matrix () =
         [ Layout.Row; Layout.Columnar ])
     (List.filteri (fun i _ -> i mod 10 = 0) seeds)
 
+(* The governed matrix: budgets (the QF_MEM_BUDGET axis — a tiny budget
+   that forces the spill kernels, a 64k budget that mostly fits, and
+   unbounded) x layouts x pool sizes.  Every configuration must produce
+   exactly the ungoverned direct answer, and the tiny budget must
+   actually exercise the spill paths somewhere in the slice (asserted on
+   the aggregate spill-partition count, since individual seeds can be too
+   small to trip the gate). *)
+let test_governed_matrix () =
+  let module Governor = Qf_governor.Governor in
+  let tiny = 4096 in
+  let tiny_spills = ref 0 in
+  List.iter
+    (fun seed ->
+      let rel, threshold = instance_of_seed seed in
+      let flock = pair_flock threshold in
+      let cat = catalog_of rel in
+      let expected = with_pool_size 1 (fun () -> Direct.run cat flock) in
+      List.iter
+        (fun layout ->
+          Layout.set_override (Some layout);
+          Fun.protect ~finally:(fun () -> Layout.set_override None)
+          @@ fun () ->
+          List.iter
+            (fun pool_size ->
+              with_pool_size pool_size @@ fun () ->
+              List.iter
+                (fun budget ->
+                  let g = Governor.create ~mem_budget:budget () in
+                  let got =
+                    Governor.with_ctx g (fun () ->
+                        Plan_exec.run cat (Optimizer.optimize cat flock))
+                  in
+                  if budget = tiny then
+                    tiny_spills :=
+                      !tiny_spills
+                      + (Governor.stats g).Governor.spill_partitions;
+                  if not (R.equal expected got) then
+                    Alcotest.failf
+                      "seed %d: governed plan (layout %s, pool %d, budget \
+                       %d) disagrees with direct"
+                      seed (Layout.to_string layout) pool_size budget)
+                [ tiny; 65536; max_int ])
+            [ 1; 2; 4 ])
+        [ Layout.Row; Layout.Columnar ])
+    (List.filteri (fun i _ -> i mod 10 = 0) seeds);
+  Alcotest.(check bool)
+    "the tiny budget actually spilled somewhere in the slice" true
+    (!tiny_spills > 0)
+
 let suite =
   [
     Alcotest.test_case "100-seed corpus: all executors = direct" `Slow
@@ -207,4 +256,7 @@ let suite =
     Alcotest.test_case
       "sip/memo matrix: reduced = unreduced across layouts/pools/budgets"
       `Slow test_reduced_equals_unreduced_matrix;
+    Alcotest.test_case
+      "governed matrix: budgets x layouts x pools = ungoverned direct"
+      `Slow test_governed_matrix;
   ]

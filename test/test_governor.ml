@@ -1,0 +1,411 @@
+(* The resource governor: byte-accounted budgets, deadlines, cooperative
+   cancellation, spill-to-disk kernels — and the deterministic
+   fault-injection sweep proving that a failure at *every* counted
+   fault point yields either a typed error or the correct result, never
+   corruption, a poisoned catalog, or a leaked temp file. *)
+
+module R = Qf_relational.Relation
+module Schema = Qf_relational.Schema
+module Tuple = Qf_relational.Tuple
+module Value = Qf_relational.Value
+module Catalog = Qf_relational.Catalog
+module Layout = Qf_relational.Layout
+module Join = Qf_relational.Join
+module Aggregate = Qf_relational.Aggregate
+module Heap_file = Qf_relational.Heap_file
+module Pool = Qf_exec_pool.Pool
+module Governor = Qf_governor.Governor
+module Fault = Qf_governor.Fault
+open Qf_core
+open Qf_testgen.Testgen
+
+let with_pool_size size f =
+  let saved_size = Pool.size (Pool.default ()) in
+  Pool.set_default_size size;
+  Fun.protect ~finally:(fun () -> Pool.set_default_size saved_size) f
+
+let with_layout layout f =
+  Layout.set_override (Some layout);
+  Fun.protect ~finally:(fun () -> Layout.set_override None) f
+
+(* Spill files of THIS process left behind anywhere under the temp dir:
+   the hygiene invariant is that this list is empty after every governed
+   run, including every faulted one. *)
+let leaked_spill_files () =
+  let prefix = "qf_spill." ^ string_of_int (Unix.getpid ()) ^ "." in
+  let tmp = Filename.get_temp_dir_name () in
+  match Sys.readdir tmp with
+  | entries ->
+    Array.to_list entries
+    |> List.filter (fun e -> String.starts_with ~prefix e)
+    |> List.map (fun e -> Filename.concat tmp e)
+  | exception Sys_error _ -> []
+
+let assert_no_leaks context =
+  match leaked_spill_files () with
+  | [] -> ()
+  | files ->
+    (* Clean up so one failure does not cascade into every later case. *)
+    List.iter
+      (fun dir ->
+        (try Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+         with Sys_error _ -> ());
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      files;
+    Alcotest.failf "%s: leaked spill files: %s" context
+      (String.concat ", " files)
+
+(* {1 Unit tests: accounting, budget parsing, deadlines, cancellation} *)
+
+let test_budget_of_string () =
+  let check s expected =
+    Alcotest.(check (option int))
+      s expected (Governor.budget_of_string s)
+  in
+  check "4096" (Some 4096);
+  check "64k" (Some 65536);
+  check "64K" (Some 65536);
+  check "2m" (Some (2 * 1024 * 1024));
+  check "1g" (Some (1024 * 1024 * 1024));
+  check "unbounded" (Some max_int);
+  check "inf" (Some max_int);
+  check "" None;
+  check "k" None;
+  check "-1" None;
+  check "12x" None;
+  check "lots" None
+
+let test_charge_release_peak () =
+  let g = Governor.create ~mem_budget:1000 () in
+  Governor.charge g 400;
+  Alcotest.(check int) "used" 400 (Governor.used g);
+  Alcotest.(check bool) "fits" true (Governor.try_charge g 600);
+  Alcotest.(check bool) "over" false (Governor.try_charge g 1);
+  Alcotest.(check int) "used unchanged by failed charge" 1000
+    (Governor.used g);
+  Governor.release g 600;
+  Governor.release g 400;
+  Alcotest.(check int) "released" 0 (Governor.used g);
+  Alcotest.(check int) "peak survives release" 1000
+    (Governor.stats g).Governor.peak_bytes;
+  match Governor.charge g 1001 with
+  | () -> Alcotest.fail "charge over budget must raise"
+  | exception Governor.Over_budget { requested; used; budget } ->
+    Alcotest.(check int) "requested" 1001 requested;
+    Alcotest.(check int) "used" 0 used;
+    Alcotest.(check int) "budget" 1000 budget
+
+let test_deadline () =
+  let g = Governor.create ~timeout_s:0.000001 () in
+  match
+    Governor.with_ctx g (fun () ->
+        Unix.sleepf 0.002;
+        Governor.check ();
+        "unreachable")
+  with
+  | _ -> Alcotest.fail "expired deadline must raise at the next check"
+  | exception Governor.Deadline_exceeded { elapsed; timeout } ->
+    Alcotest.(check bool) "elapsed past timeout" true (elapsed >= timeout)
+
+let test_cancel () =
+  let g = Governor.create () in
+  match
+    Governor.with_ctx g (fun () ->
+        Governor.check ();
+        Governor.cancel g;
+        Governor.check ();
+        "unreachable")
+  with
+  | _ -> Alcotest.fail "cancel must raise at the next check"
+  | exception Governor.Cancelled -> ()
+
+let test_ungoverned_check_is_noop () =
+  Governor.check ();
+  Alcotest.(check bool) "no ambient governor" true (Governor.current () = None)
+
+(* {1 Spill kernels agree with the in-memory kernels} *)
+
+let relation_of_rows columns rows =
+  let rel = R.create (Schema.of_list columns) in
+  List.iter
+    (fun row ->
+      R.add rel
+        (Tuple.of_array (Array.of_list (List.map Value.str row))))
+    rows;
+  rel
+
+let big_pair_relation n =
+  relation_of_rows [ "B"; "I" ]
+    (List.concat_map
+       (fun b ->
+         List.map
+           (fun i ->
+             [ Printf.sprintf "b%d" b; Printf.sprintf "i%d" ((b * 7 + i) mod 37) ])
+           (List.init (1 + (b mod 5)) Fun.id))
+       (List.init n Fun.id))
+
+let test_spilled_join_agrees () =
+  with_pool_size 1 @@ fun () ->
+  let a = big_pair_relation 60 in
+  let b = big_pair_relation 40 in
+  let pairs = [ "I", "I" ] in
+  let expected = Join.equi a b pairs in
+  List.iter
+    (fun layout ->
+      with_layout layout @@ fun () ->
+      let g = Governor.create ~mem_budget:8192 () in
+      let got = Governor.with_ctx g (fun () -> Join.equi a b pairs) in
+      if not (R.equal expected got) then
+        Alcotest.failf "spilled equi-join disagrees (layout %s)"
+          (Layout.to_string layout);
+      Alcotest.(check bool)
+        (Printf.sprintf "join spilled (layout %s)" (Layout.to_string layout))
+        true
+        ((Governor.stats g).Governor.spill_partitions > 0))
+    [ Layout.Row; Layout.Columnar ];
+  assert_no_leaks "spilled join"
+
+let test_spilled_group_by_agrees () =
+  with_pool_size 1 @@ fun () ->
+  let rel = big_pair_relation 80 in
+  let sort = List.sort compare in
+  let expected =
+    sort (Aggregate.group_by rel ~keys:[ "I" ] ~func:Aggregate.Count)
+  in
+  List.iter
+    (fun layout ->
+      with_layout layout @@ fun () ->
+      let g = Governor.create ~mem_budget:8192 () in
+      let got =
+        Governor.with_ctx g (fun () ->
+            sort (Aggregate.group_by rel ~keys:[ "I" ] ~func:Aggregate.Count))
+      in
+      if got <> expected then
+        Alcotest.failf "spilled group-by disagrees (layout %s)"
+          (Layout.to_string layout);
+      Alcotest.(check bool)
+        (Printf.sprintf "group-by spilled (layout %s)"
+           (Layout.to_string layout))
+        true
+        ((Governor.stats g).Governor.spill_partitions > 0))
+    [ Layout.Row; Layout.Columnar ];
+  assert_no_leaks "spilled group-by"
+
+let test_spilled_group_filter_agrees () =
+  with_pool_size 1 @@ fun () ->
+  let rel = big_pair_relation 80 in
+  let expected =
+    Aggregate.group_filter rel ~keys:[ "I" ] ~func:Aggregate.Count
+      ~threshold:3.
+  in
+  List.iter
+    (fun layout ->
+      with_layout layout @@ fun () ->
+      let g = Governor.create ~mem_budget:8192 () in
+      let got =
+        Governor.with_ctx g (fun () ->
+            Aggregate.group_filter rel ~keys:[ "I" ] ~func:Aggregate.Count
+              ~threshold:3.)
+      in
+      if not (R.equal expected got) then
+        Alcotest.failf "spilled group-filter disagrees (layout %s)"
+          (Layout.to_string layout))
+    [ Layout.Row; Layout.Columnar ];
+  assert_no_leaks "spilled group-filter"
+
+(* {1 Executors under a tiny budget agree with ungoverned direct} *)
+
+let tiny_budget = 4096
+
+let run_governed g f = Governor.with_ctx g f
+
+let test_executors_agree_under_tiny_budget () =
+  with_pool_size 1 @@ fun () ->
+  List.iter
+    (fun seed ->
+      let rel, threshold = instance ~seed gen_basket_instance in
+      let cat = catalog_of rel in
+      let flock = pair_flock threshold in
+      let expected = Direct.run cat flock in
+      let governed name f =
+        let g = Governor.create ~mem_budget:tiny_budget () in
+        let got = run_governed g f in
+        if not (R.equal expected got) then
+          Alcotest.failf "seed %d: governed %s disagrees with direct" seed
+            name
+      in
+      governed "direct" (fun () -> Direct.run cat flock);
+      governed "plan" (fun () ->
+          Plan_exec.run cat (Optimizer.optimize cat flock));
+      governed "dynamic" (fun () ->
+          match Dynamic.run cat flock with
+          | Ok r -> r.Dynamic.answers
+          | Error e -> Alcotest.failf "seed %d: dynamic: %s" seed e);
+      governed "naive" (fun () -> Naive.run cat flock))
+    (List.init 10 (fun i -> i * 7));
+  assert_no_leaks "tiny-budget executors"
+
+let test_plan_deadline_interrupts () =
+  with_pool_size 1 @@ fun () ->
+  let rel, threshold = instance ~seed:3 gen_basket_instance in
+  let cat = catalog_of rel in
+  let flock = pair_flock threshold in
+  let plan = Optimizer.optimize cat flock in
+  let g = Governor.create ~timeout_s:1e-9 () in
+  match Governor.with_ctx g (fun () -> Plan_exec.run cat plan) with
+  | _ -> Alcotest.fail "plan under expired deadline must raise"
+  | exception Governor.Deadline_exceeded _ -> ()
+
+(* {1 The deterministic fault-injection sweep}
+
+   Each scenario is a self-contained governed computation with a known
+   expected answer.  [Fault.with_count] learns how many fault points the
+   clean run crosses; the sweep then replays the scenario once per point
+   with exactly that point armed.  Every replay must either produce the
+   correct answer (the injection landed on a pass-through point, e.g. in
+   a counting-only site) or raise a typed error — [Fault.Injected] or a
+   governor fault — and must never leak a spill file or corrupt shared
+   state (proven by a final clean re-run against the same catalog). *)
+
+type scenario = {
+  name : string;
+  expected : check:bool -> unit;
+      (* runs the computation; [check = true] compares against the known
+         answer, [check = false] just exercises it *)
+}
+
+let mining_scenario name ~layout ~mode =
+  let rel, threshold = instance ~seed:11 gen_basket_instance in
+  let cat = catalog_of rel in
+  let flock = pair_flock threshold in
+  let expected = with_pool_size 1 (fun () -> Direct.run cat flock) in
+  let run () =
+    with_pool_size 1 @@ fun () ->
+    with_layout layout @@ fun () ->
+    let g = Governor.create ~mem_budget:tiny_budget () in
+    Governor.with_ctx g @@ fun () ->
+    match mode with
+    | `Direct -> Direct.run cat flock
+    | `Plan -> Plan_exec.run cat (Optimizer.optimize cat flock)
+    | `Dynamic -> (
+      match Dynamic.run cat flock with
+      | Ok r -> r.Dynamic.answers
+      | Error e -> failwith ("dynamic: " ^ e))
+  in
+  {
+    name;
+    expected =
+      (fun ~check ->
+        let got = run () in
+        if check && not (R.equal expected got) then
+          Alcotest.failf "%s: wrong result" name);
+  }
+
+(* Storage round-trip with a 2-page buffer pool: every append risks an
+   eviction flush, so the [pager.write]/[pager.read]/[heap.append] points
+   all fire many times. *)
+let storage_scenario =
+  let rel = big_pair_relation 60 in
+  let run () =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qf_governor_hf.%d" (Unix.getpid ()))
+    in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let hf = Heap_file.create ~capacity:2 path (R.schema rel) in
+        let ok =
+          try
+            R.iter (Heap_file.append hf) rel;
+            Heap_file.flush hf;
+            true
+          with e ->
+            Heap_file.discard hf;
+            raise e
+        in
+        ignore ok;
+        let back = Heap_file.to_relation hf in
+        Heap_file.close hf;
+        back)
+  in
+  {
+    name = "storage round-trip";
+    expected =
+      (fun ~check ->
+        let got = run () in
+        if check && not (R.equal rel got) then
+          Alcotest.failf "storage round-trip: wrong result");
+  }
+
+let scenarios () =
+  [
+    mining_scenario "plan/row/tiny-budget" ~layout:Layout.Row ~mode:`Plan;
+    mining_scenario "plan/columnar/tiny-budget" ~layout:Layout.Columnar
+      ~mode:`Plan;
+    mining_scenario "direct/row/tiny-budget" ~layout:Layout.Row ~mode:`Direct;
+    mining_scenario "dynamic/row/tiny-budget" ~layout:Layout.Row
+      ~mode:`Dynamic;
+    storage_scenario;
+  ]
+
+let typed_fault = function
+  | Fault.Injected _ | Governor.Over_budget _ | Governor.Deadline_exceeded _
+  | Governor.Cancelled ->
+    true
+  | _ -> false
+
+let test_fault_sweep () =
+  let total_points = ref 0 in
+  List.iter
+    (fun s ->
+      let (), points = Fault.with_count (fun () -> s.expected ~check:true) in
+      assert_no_leaks (s.name ^ " (clean)");
+      Alcotest.(check bool)
+        (s.name ^ ": counted at least one fault point")
+        true (points > 0);
+      total_points := !total_points + points;
+      for k = 1 to points do
+        (match Fault.with_inject ~at:k (fun () -> s.expected ~check:true) with
+        | Ok (), _ -> ()
+        | Error e, _ when typed_fault e -> ()
+        | Error e, _ ->
+          Alcotest.failf "%s: injection at point %d leaked exception %s"
+            s.name k (Printexc.to_string e));
+        assert_no_leaks (Printf.sprintf "%s (inject %d)" s.name k)
+      done;
+      (* The shared inputs survived every injection: a final clean run
+         still produces the exact expected answer. *)
+      s.expected ~check:true;
+      assert_no_leaks (s.name ^ " (final)"))
+    (scenarios ());
+  (* The acceptance bar: the sweep must exercise a substantial number of
+     distinct injection points across the scenarios. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "swept >= 200 fault points (got %d)" !total_points)
+    true
+    (!total_points >= 200)
+
+let suite =
+  [
+    Alcotest.test_case "budget_of_string" `Quick test_budget_of_string;
+    Alcotest.test_case "charge/release/peak accounting" `Quick
+      test_charge_release_peak;
+    Alcotest.test_case "deadline raises at the next check" `Quick
+      test_deadline;
+    Alcotest.test_case "cancel raises at the next check" `Quick test_cancel;
+    Alcotest.test_case "ungoverned check is a no-op" `Quick
+      test_ungoverned_check_is_noop;
+    Alcotest.test_case "spilled equi-join = in-memory" `Quick
+      test_spilled_join_agrees;
+    Alcotest.test_case "spilled group-by = in-memory" `Quick
+      test_spilled_group_by_agrees;
+    Alcotest.test_case "spilled group-filter = in-memory" `Quick
+      test_spilled_group_filter_agrees;
+    Alcotest.test_case "executors agree under a tiny budget" `Slow
+      test_executors_agree_under_tiny_budget;
+    Alcotest.test_case "plan execution honours the deadline" `Quick
+      test_plan_deadline_interrupts;
+    Alcotest.test_case "fault-injection sweep: typed errors only, no leaks"
+      `Slow test_fault_sweep;
+  ]

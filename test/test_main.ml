@@ -33,4 +33,5 @@ let () =
       "sip", Test_sip.suite;
       "differential", Test_differential.suite;
       "obs", Test_obs.suite;
+      "governor", Test_governor.suite;
     ]

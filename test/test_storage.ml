@@ -53,6 +53,71 @@ let test_codec_corruption () =
        false
      with Failure _ -> true)
 
+(* Fuzz the decoder's robustness contract: on arbitrarily truncated or
+   bit-flipped encodings of real values/tuples, decoding either succeeds
+   or raises [Failure] — never any other exception, never an
+   out-of-bounds access (which OCaml would surface as
+   [Invalid_argument]). *)
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> V.Int i) int;
+        map (fun f -> V.Real f) float;
+        map (fun s -> V.Str s) (string_size (int_bound 40));
+      ])
+
+let gen_tuple =
+  QCheck.Gen.(
+    map
+      (fun vs -> Tuple.of_array (Array.of_list vs))
+      (list_size (int_range 1 6) gen_value))
+
+(* An encoding, mangled: truncated to a random prefix and/or with one
+   random bit flipped. *)
+let mangle bytes_str =
+  QCheck.Gen.(
+    let n = String.length bytes_str in
+    let* cut = int_bound n in
+    let* flip = opt (int_bound (max 0 (cut - 1))) in
+    let b = Bytes.of_string (String.sub bytes_str 0 cut) in
+    (match flip with
+    | Some i when i < Bytes.length b ->
+      let* bit = int_bound 7 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      return b
+    | _ -> return b))
+
+let decodes_or_fails decode b =
+  match decode b 0 with
+  | _ -> true
+  | exception Failure _ -> true
+  | exception e ->
+    QCheck.Test.fail_reportf "decoder leaked %s" (Printexc.to_string e)
+
+let fuzz_decode_value =
+  QCheck.Test.make ~name:"codec fuzz: decode_value on mangled input"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(
+         gen_value >>= fun v ->
+         let buf = Buffer.create 16 in
+         Codec.encode_value buf v;
+         mangle (Buffer.contents buf)))
+    (decodes_or_fails Codec.decode_value)
+
+let fuzz_decode_tuple =
+  QCheck.Test.make ~name:"codec fuzz: decode_tuple on mangled input"
+    ~count:1000
+    (QCheck.make
+       QCheck.Gen.(
+         gen_tuple >>= fun t ->
+         let buf = Buffer.create 32 in
+         Codec.encode_tuple buf t;
+         mangle (Buffer.contents buf)))
+    (decodes_or_fails Codec.decode_tuple)
+
 let test_page_basics () =
   let page = Page.create () in
   check_int "empty" 0 (Page.count page);
@@ -247,6 +312,8 @@ let suite =
     Alcotest.test_case "codec tuple/schema roundtrip" `Quick
       test_codec_tuple_roundtrip;
     Alcotest.test_case "codec corruption detected" `Quick test_codec_corruption;
+    QCheck_alcotest.to_alcotest fuzz_decode_value;
+    QCheck_alcotest.to_alcotest fuzz_decode_tuple;
     Alcotest.test_case "page basics" `Quick test_page_basics;
     Alcotest.test_case "page fill and overflow" `Quick test_page_fill_and_overflow;
     Alcotest.test_case "page corrupt header" `Quick test_page_corrupt_header;
